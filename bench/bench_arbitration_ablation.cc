@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Experiment E9 (ablations of the design choices in DESIGN.md):
+ *
+ *  (a) reconfiguration vs central arbitration - RMB against the
+ *      conventional k-bus system on traffic of varying locality;
+ *  (b) compaction on vs off - quantifies how much of the RMB's
+ *      throughput comes from recycling the top bus;
+ *  (c) restricted 3-way switches vs an ideal k-channel ring -
+ *      the price of the paper's "simple routing hardware".
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/multibus.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+#include "workload/traffic.hh"
+
+namespace {
+
+using namespace rmb;
+
+enum class Kind {
+    Rmb,
+    RmbNoCompaction,
+    RmbStraight,
+    RmbStraightNoCompaction,
+    MultiBus,
+    IdealRing,
+};
+
+std::unique_ptr<net::Network>
+make(Kind kind, sim::Simulator &s, std::uint32_t n, std::uint32_t k,
+     std::uint64_t seed)
+{
+    switch (kind) {
+      case Kind::Rmb:
+      case Kind::RmbNoCompaction:
+      case Kind::RmbStraight:
+      case Kind::RmbStraightNoCompaction: {
+        core::RmbConfig cfg;
+        cfg.numNodes = n;
+        cfg.numBuses = k;
+        cfg.seed = seed;
+        cfg.enableCompaction = kind == Kind::Rmb ||
+                               kind == Kind::RmbStraight;
+        cfg.headerPolicy =
+            (kind == Kind::RmbStraight ||
+             kind == Kind::RmbStraightNoCompaction)
+                ? core::HeaderPolicy::PreferStraight
+                : core::HeaderPolicy::PreferLowest;
+        cfg.verify = core::VerifyLevel::Off;
+        return std::make_unique<core::RmbNetwork>(s, cfg);
+      }
+      case Kind::MultiBus: {
+        baseline::CircuitConfig cfg;
+        cfg.seed = seed;
+        return std::make_unique<baseline::MultiBusNetwork>(s, n, k,
+                                                           cfg);
+      }
+      case Kind::IdealRing: {
+        baseline::CircuitConfig cfg;
+        cfg.seed = seed;
+        return std::make_unique<baseline::IdealRingNetwork>(s, n, k,
+                                                            cfg);
+      }
+    }
+    return nullptr;
+}
+
+const char *
+name(Kind kind)
+{
+    switch (kind) {
+      case Kind::Rmb:
+        return "RMB (eager headers)";
+      case Kind::RmbNoCompaction:
+        return "RMB (eager, no compaction)";
+      case Kind::RmbStraight:
+        return "RMB (top-bus headers)";
+      case Kind::RmbStraightNoCompaction:
+        return "RMB (top-bus, no compaction)";
+      case Kind::MultiBus:
+        return "MultiBus (arbitrated)";
+      case Kind::IdealRing:
+        return "IdealRing (free switch)";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E9", "ablations: reconfiguration vs arbitration,"
+                        " compaction on/off, 3-way vs ideal"
+                        " switches");
+
+    const int trials = bench::fastMode() ? 2 : 6;
+    const std::uint32_t n = 32;
+    const std::uint32_t k = 4;
+    const std::uint32_t payload = 32;
+
+    struct Workload
+    {
+        std::string label;
+        workload::PairList pairs;
+    };
+    sim::Random rng(7);
+    std::vector<Workload> workloads;
+    workloads.push_back(
+        {"neighbour", workload::toPairs(workload::rotation(n, 1))});
+    workloads.push_back(
+        {"local (rot 4)",
+         workload::toPairs(workload::rotation(n, 4))});
+    workloads.push_back(
+        {"tornado", workload::toPairs(workload::rotation(n, n / 2))});
+    workloads.push_back(
+        {"random perm",
+         workload::toPairs(workload::randomFullTraffic(n, rng))});
+    // Queued bursts: four messages per source.  This is where
+    // compaction's top-bus recycling pays - without it a source's
+    // next injection waits for the previous message's full
+    // teardown.
+    workload::PairList burst;
+    for (net::NodeId i = 0; i < n; ++i)
+        for (int m = 0; m < 4; ++m)
+            burst.emplace_back(i, (i + 3) % n);
+    workloads.push_back({"burst x4 local", std::move(burst)});
+
+    TextTable t("batch makespan (ticks), N = 32, k = 4, payload 32"
+                " (burst: payload 256)",
+                {"network", "neighbour", "local (rot 4)", "tornado",
+                 "random perm", "burst x4 local"});
+    for (Kind kind :
+         {Kind::Rmb, Kind::RmbNoCompaction, Kind::RmbStraight,
+          Kind::RmbStraightNoCompaction, Kind::MultiBus,
+          Kind::IdealRing}) {
+        std::vector<std::string> row{name(kind)};
+        for (const auto &w : workloads) {
+            double makespan = 0.0;
+            bool all_completed = true;
+            const std::uint32_t w_payload =
+                w.label == "burst x4 local" ? 256 : payload;
+            for (int trial = 0; trial < trials; ++trial) {
+                sim::Simulator s;
+                auto net = make(kind, s, n, k,
+                                static_cast<std::uint64_t>(trial) +
+                                    1);
+                const auto r = workload::runBatch(*net, w.pairs,
+                                                  w_payload,
+                                                  20'000'000);
+                all_completed &= r.completed;
+                makespan += static_cast<double>(r.makespan);
+            }
+            row.push_back(all_completed
+                              ? TextTable::num(makespan / trials, 0)
+                              : std::string("DNF"));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks:\n"
+                 "  (a) the RMB beats the arbitrated k-bus system"
+                 " on every spatially-local pattern;\n"
+                 "  (b) disabling compaction slows the RMB toward"
+                 " serial top-bus reuse;\n"
+                 "  (c) the gap between RMB and IdealRing is the"
+                 " cost of 3-way switches + top-bus injection -"
+                 " the hardware simplicity the paper sells.\n";
+    return 0;
+}

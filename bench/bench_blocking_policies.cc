@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment E12 (a finding of this reproduction, beyond the
+ * paper): behaviour of a blocked header flit.  The paper asserts
+ * top-bus injection "avoids any deadlocks while establishing
+ * virtual bus connection"; we show that *holding* a partial virtual
+ * bus while blocked (Wait) deadlocks once the ring is
+ * oversubscribed - a cycle of partial buses each waiting on
+ * segments held by the next - while tearing down and retrying
+ * (NackRetry, our default, matching Theorem 1's wording) and
+ * Wait-with-timeout both complete every batch.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace {
+
+using namespace rmb;
+
+struct Policy
+{
+    std::string name;
+    core::BlockingPolicy blocking;
+    sim::Tick timeout;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E12", "blocked-header policies: deadlock"
+                         " frequency and cost");
+
+    const int trials = bench::fastMode() ? 4 : 12;
+    const std::uint32_t n = 16;
+    const std::uint32_t payload = 24;
+
+    const std::vector<Policy> policies{
+        {"Wait (hold bus)", core::BlockingPolicy::Wait, 0},
+        {"Wait + timeout 400", core::BlockingPolicy::Wait, 400},
+        {"NackRetry (default)", core::BlockingPolicy::NackRetry, 0},
+    };
+
+    TextTable t("random full permutations, N = 16 (ring load >> k"
+                " when k is small)",
+                {"policy", "k", "completed", "deadlocked",
+                 "mean makespan (done)", "aborts/msg"});
+    for (const auto &p : policies) {
+        for (std::uint32_t k : {2u, 4u, 8u}) {
+            int completed = 0;
+            int deadlocked = 0;
+            double makespan = 0.0;
+            double aborts = 0.0;
+            for (int trial = 0; trial < trials; ++trial) {
+                sim::Simulator s;
+                core::RmbConfig cfg;
+                cfg.numNodes = n;
+                cfg.numBuses = k;
+                cfg.seed = static_cast<std::uint64_t>(trial) + 1;
+                cfg.blocking = p.blocking;
+                cfg.headerTimeout = p.timeout;
+                cfg.verify = core::VerifyLevel::Off;
+                core::RmbNetwork net(s, cfg);
+                sim::Random rng(
+                    static_cast<std::uint64_t>(trial) * 97 + 5);
+                const auto pairs = workload::toPairs(
+                    workload::randomFullTraffic(n, rng));
+                const auto r = workload::runBatch(net, pairs,
+                                                  payload, 400'000);
+                if (r.completed) {
+                    ++completed;
+                    makespan += static_cast<double>(r.makespan);
+                } else {
+                    ++deadlocked;
+                }
+                const auto &rs = net.rmbStats();
+                aborts += static_cast<double>(rs.blockedAborts +
+                                              rs.timeoutAborts) /
+                          static_cast<double>(pairs.size());
+            }
+            t.addRow({p.name, TextTable::num(std::uint64_t{k}),
+                      std::to_string(completed) + "/" +
+                          std::to_string(trials),
+                      std::to_string(deadlocked),
+                      completed
+                          ? TextTable::num(makespan / completed, 0)
+                          : std::string("-"),
+                      TextTable::num(aborts / trials, 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFinding: pure Wait wedges at small k (all"
+                 " segments held by mutually-blocked partial"
+                 " buses); both recovery mechanisms complete every"
+                 " batch, with NackRetry needing no tuned timeout."
+                 " See EXPERIMENTS.md.\n";
+    return 0;
+}

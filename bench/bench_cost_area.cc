@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Experiment E3 (paper section 3.2, VLSI area): layout area per
+ * architecture.  Shape: hypercube-family area Theta(N^2) crosses the
+ * RMB's Theta(N*k) and loses for every realistic N; the fat tree's
+ * O(N*k) carries a constant of at least 12 against the RMB's ~1;
+ * the expanded mesh matches the RMB's order.
+ */
+
+#include <iostream>
+
+#include "analysis/cost_model.hh"
+#include "bench/bench_util.hh"
+#include "common/bitutils.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace rmb;
+    using namespace rmb::analysis;
+
+    bench::banner("E3", "VLSI layout area per architecture"
+                        " (section 3.2)");
+
+    TextTable t("layout area (unit squares), k = 8 permutation"
+                " capability",
+                {"N", "k", "RMB (Nk)", "Hypercube (N^2)",
+                 "FatTree (12Nk)", "Mesh (Nk)", "Hypercube/RMB"});
+    for (std::uint64_t n : {16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+        const std::uint64_t k = 8;
+        const auto rmb = rmbCosts(n, k).area;
+        const auto hc = hypercubeCosts(n).area;
+        t.addRow({TextTable::num(n), TextTable::num(k),
+                  TextTable::num(rmb), TextTable::num(hc),
+                  TextTable::num(fatTreeCosts(n, k).area),
+                  TextTable::num(meshCosts(n, k).area),
+                  TextTable::num(static_cast<double>(hc) /
+                                     static_cast<double>(rmb),
+                                 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape check: the hypercube/RMB area ratio"
+                 " grows ~ N / log N; the fat tree costs ~12x the"
+                 " RMB at equal (N, k).\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Experiment E2 (paper section 3.2, cross points): the number of
+ * wire intersections each architecture needs to support a
+ * k-permutation.  The paper's headline: RMB = 3*N*k beats the
+ * hypercube family's N*(log N + 1)^2 and is comparable to the
+ * fat tree's O(N*k) with a larger constant.
+ */
+
+#include <iostream>
+
+#include "analysis/cost_model.hh"
+#include "bench/bench_util.hh"
+#include "common/bitutils.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace rmb;
+    using namespace rmb::analysis;
+
+    bench::banner("E2", "cross points per architecture"
+                        " (section 3.2)");
+
+    for (std::uint64_t n : {64ull, 256ull, 1024ull}) {
+        TextTable t("cross points, N = " + std::to_string(n),
+                    {"k", "RMB (3Nk)", "Hypercube", "EHC", "FatTree",
+                     "Mesh (16Nk)", "RMB/EHC"});
+        for (std::uint64_t k = 2; k <= 2 * log2Floor(n); k *= 2) {
+            const auto rmb = rmbCosts(n, k).crossPoints;
+            const auto ehc = ehcCosts(n).crossPoints;
+            t.addRow({TextTable::num(k), TextTable::num(rmb),
+                      TextTable::num(hypercubeCosts(n).crossPoints),
+                      TextTable::num(ehc),
+                      TextTable::num(fatTreeCosts(n, k).crossPoints),
+                      TextTable::num(meshCosts(n, k).crossPoints),
+                      TextTable::num(static_cast<double>(rmb) /
+                                         static_cast<double>(ehc),
+                                     3)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "Paper shape check: for k = log N the RMB/EHC ratio"
+                 " stays well below 1 and shrinks with N.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment E1 + E4 (paper section 3.2, "Number of Links ..."):
+ * regenerates the link-count and bisection-bandwidth comparison of
+ * the RMB against the hypercube family, the fat tree and the mesh,
+ * all sized to support a k-permutation.
+ */
+
+#include <iostream>
+
+#include "analysis/cost_model.hh"
+#include "bench/bench_util.hh"
+#include "common/bitutils.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace rmb;
+    using namespace rmb::analysis;
+
+    bench::banner("E1/E4", "number of links and bisection bandwidth"
+                           " per architecture (section 3.2)");
+
+    for (std::uint64_t n : {64ull, 256ull, 1024ull}) {
+        TextTable t("links to support a k-permutation, N = " +
+                        std::to_string(n),
+                    {"k", "RMB", "Hypercube", "EHC", "GFC",
+                     "FatTree", "Mesh"});
+        for (std::uint64_t k = 2; k <= 2 * log2Floor(n); k *= 2) {
+            t.addRow({TextTable::num(k),
+                      TextTable::num(rmbCosts(n, k).links),
+                      TextTable::num(hypercubeCosts(n).links),
+                      TextTable::num(ehcCosts(n).links),
+                      TextTable::num(gfcCosts(n, k).links),
+                      TextTable::num(fatTreeCosts(n, k).links),
+                      TextTable::num(meshCosts(n, k).links)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    TextTable b("bisection bandwidth (units of link bandwidth B)",
+                {"N", "k", "RMB (= k*B, paper)", "Hypercube", "EHC",
+                 "FatTree", "Mesh"});
+    for (std::uint64_t n : {64ull, 256ull}) {
+        for (std::uint64_t k : {4ull, 8ull}) {
+            b.addRow({TextTable::num(n), TextTable::num(k),
+                      TextTable::num(rmbCosts(n, k).bisection),
+                      TextTable::num(hypercubeCosts(n).bisection),
+                      TextTable::num(ehcCosts(n).bisection),
+                      TextTable::num(fatTreeCosts(n, k).bisection),
+                      TextTable::num(meshCosts(n, k).bisection)});
+        }
+    }
+    b.print(std::cout);
+
+    std::cout << "\nPaper shape check: RMB links = N*k exactly; the"
+                 " fat tree needs fewer links (N*log2 k + N - 2k)"
+                 " but see E3 for its larger area constant.\n";
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Experiment E18 (robustness, this reproduction): performance under
+ * permanent bus-segment failures, as a function of *where* the
+ * faults sit and of the header's level policy.
+ *
+ * Key finding: fault tolerance is a property of the header policy.
+ * PreferStraight (the paper's literal top-bus propagation) is
+ * naturally fault tolerant - the top level cannot be faulted, so a
+ * header can always ride it - and degrades gracefully.  Eager
+ * lowest-free descent is fault-*oblivious*: a gap whose low levels
+ * are dead is a deterministic trap (the header arrives at level 0
+ * and can only reach the dead {0, 1}), so scattered faults cause
+ * permanent failures (pinned by Fault.EagerDescentTrapsOnLowLevel-
+ * Faults in the test suite).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace {
+
+using namespace rmb;
+
+enum class Placement { BottomAligned, Scattered };
+
+struct Outcome
+{
+    double makespan = 0.0;
+    int completed = 0;
+    int trials = 0;
+};
+
+Outcome
+run(std::uint32_t faults, Placement placement,
+    core::HeaderPolicy policy, int trials)
+{
+    const std::uint32_t n = 32;
+    const std::uint32_t k = 4;
+    Outcome out;
+    out.trials = trials;
+    for (int trial = 0; trial < trials; ++trial) {
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = n;
+        cfg.numBuses = k;
+        cfg.seed = static_cast<std::uint64_t>(trial) + 1;
+        cfg.headerPolicy = policy;
+        cfg.maxRetries = 200; // bound the trap cases
+        cfg.verify = core::VerifyLevel::Off;
+        core::RmbNetwork net(s, cfg);
+
+        if (placement == Placement::BottomAligned) {
+            // floor(faults / n) full bottom levels plus remainder.
+            std::uint32_t left = faults;
+            for (core::Level l = 0; left > 0 &&
+                                    l < static_cast<core::Level>(
+                                            k - 1);
+                 ++l) {
+                for (core::GapId g = 0; g < n && left > 0; ++g) {
+                    net.failSegment(g, l);
+                    --left;
+                }
+            }
+        } else {
+            sim::Random frng(
+                static_cast<std::uint64_t>(trial) * 13 + faults);
+            std::vector<std::uint32_t> per_gap(n, 0);
+            std::uint32_t injected = 0;
+            while (injected < faults) {
+                const auto g = static_cast<core::GapId>(
+                    frng.uniformInt(n));
+                const auto l = static_cast<core::Level>(
+                    frng.uniformInt(k - 1));
+                if (per_gap[g] >= k - 2 ||
+                    net.segments().isFaulty(g, l)) {
+                    continue;
+                }
+                net.failSegment(g, l);
+                ++per_gap[g];
+                ++injected;
+            }
+        }
+
+        sim::Random rng(static_cast<std::uint64_t>(trial) * 59 + 3);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(n, rng));
+        const auto r =
+            workload::runBatch(net, pairs, 32, 4'000'000);
+        if (r.completed)
+            ++out.completed;
+        out.makespan += static_cast<double>(r.makespan) / trials;
+    }
+    return out;
+}
+
+std::string
+cell(const Outcome &o)
+{
+    std::string s = TextTable::num(o.makespan, 0);
+    if (o.completed != o.trials) {
+        s += " (" + std::to_string(o.completed) + "/" +
+             std::to_string(o.trials) + ")";
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E18", "segment faults: placement x header"
+                         " policy (robustness)");
+
+    const int trials = bench::fastMode() ? 2 : 5;
+
+    TextTable t("random permutation makespan, N = 32, k = 4;"
+                " '(c/t)' marks incomplete batches",
+                {"faulted", "%", "eager+aligned", "eager+scattered",
+                 "top-bus+aligned", "top-bus+scattered"});
+    for (const std::uint32_t faults : {0u, 8u, 16u, 32u, 48u}) {
+        t.addRow(
+            {TextTable::num(std::uint64_t{faults}),
+             TextTable::num(100.0 * faults / (32 * 4), 1),
+             cell(run(faults, Placement::BottomAligned,
+                      core::HeaderPolicy::PreferLowest, trials)),
+             cell(run(faults, Placement::Scattered,
+                      core::HeaderPolicy::PreferLowest, trials)),
+             cell(run(faults, Placement::BottomAligned,
+                      core::HeaderPolicy::PreferStraight, trials)),
+             cell(run(faults, Placement::Scattered,
+                      core::HeaderPolicy::PreferStraight,
+                      trials))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks: bottom-aligned faults act as a"
+                 " smaller k for either policy (compaction packs"
+                 " circuits above the dead floor).  Scattered"
+                 " faults trap eager-descent headers (failures in"
+                 " parentheses) but leave top-bus headers degrading"
+                 " smoothly - the paper's literal top-bus"
+                 " propagation turns out to be the fault-tolerant"
+                 " design point.\n";
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Experiment E11: google-benchmark microbenchmarks of the simulator
+ * substrate - event queue throughput, RNG, full RMB simulation rate
+ * (protocol events per second) - so regressions in the kernel are
+ * visible independently of the modelled results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rmb/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "workload/permutation.hh"
+
+namespace {
+
+using namespace rmb;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto batch = static_cast<std::uint64_t>(state.range(0));
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < batch; ++i)
+            q.schedule((i * 2654435761u) % 1024, [&sink] { ++sink; });
+        while (!q.empty())
+            q.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(256)->Arg(4096);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    sim::EventQueue q;
+    for (auto _ : state) {
+        std::vector<sim::EventId> ids;
+        ids.reserve(1024);
+        for (int i = 0; i < 1024; ++i)
+            ids.push_back(q.schedule(static_cast<sim::Tick>(i),
+                                     [] {}));
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            q.cancel(ids[i]);
+        while (!q.empty())
+            q.runOne();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void
+BM_RandomNext(benchmark::State &state)
+{
+    sim::Random rng(42);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.next();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomNext);
+
+void
+BM_RandomUniformInt(benchmark::State &state)
+{
+    sim::Random rng(42);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.uniformInt(1000);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomUniformInt);
+
+void
+BM_RmbPermutationBatch(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = n;
+        cfg.numBuses = k;
+        cfg.verify = core::VerifyLevel::Off;
+        core::RmbNetwork net(s, cfg);
+        sim::Random rng(7);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(n, rng));
+        for (const auto &[src, dst] : pairs)
+            net.send(src, dst, 32);
+        while (!net.quiescent())
+            s.run(1024);
+        events += s.numExecuted();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.SetLabel("simulated events/s");
+}
+BENCHMARK(BM_RmbPermutationBatch)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({64, 8});
+
+void
+BM_RmbFullVerifyOverhead(benchmark::State &state)
+{
+    const bool full = state.range(0) != 0;
+    for (auto _ : state) {
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = 16;
+        cfg.numBuses = 4;
+        cfg.verify = full ? core::VerifyLevel::Full
+                          : core::VerifyLevel::Off;
+        core::RmbNetwork net(s, cfg);
+        sim::Random rng(3);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        for (const auto &[src, dst] : pairs)
+            net.send(src, dst, 16);
+        while (!net.quiescent())
+            s.run(1024);
+    }
+    state.SetLabel(full ? "VerifyLevel::Full" : "VerifyLevel::Off");
+}
+BENCHMARK(BM_RmbFullVerifyOverhead)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

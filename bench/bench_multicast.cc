@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Experiment E14 (paper section 1: "the RMB concept can also be
+ * extended to support broadcasting and multicasting"): one
+ * multicast virtual bus vs repeated unicasts, as a function of
+ * group size, plus broadcast scaling with N.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+
+namespace {
+
+using namespace rmb;
+
+core::RmbConfig
+cfg(std::uint32_t n, std::uint32_t k)
+{
+    core::RmbConfig c;
+    c.numNodes = n;
+    c.numBuses = k;
+    c.verify = core::VerifyLevel::Off;
+    return c;
+}
+
+void
+drain(sim::Simulator &s, net::Network &net)
+{
+    while (!net.quiescent() && s.now() < 10'000'000)
+        s.run(1024);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E14", "multicast/broadcast vs repeated unicast"
+                         " (section 1 extension)");
+
+    const std::uint32_t n = 32;
+    const std::uint32_t k = 4;
+    const std::uint32_t payload = 64;
+
+    TextTable t("time until the whole group has the data, N = 32,"
+                " k = 4, payload 64",
+                {"group size", "multicast", "unicast serial",
+                 "speedup", "segments held (mc vs uni)"});
+    for (const std::uint32_t group : {2u, 4u, 8u, 16u, 31u}) {
+        // Members evenly spread clockwise from node 0.
+        std::vector<net::NodeId> members;
+        for (std::uint32_t i = 1; i <= group; ++i)
+            members.push_back(static_cast<net::NodeId>(
+                (i * n) / (group + 1) == 0
+                    ? i
+                    : (i * n) / (group + 1)));
+        std::sort(members.begin(), members.end());
+        members.erase(std::unique(members.begin(), members.end()),
+                      members.end());
+        if (members.front() == 0)
+            members.erase(members.begin());
+
+        sim::Simulator s1;
+        core::RmbNetwork mc(s1, cfg(n, k));
+        const auto gid = mc.multicast(0, members, payload);
+        drain(s1, mc);
+        sim::Tick mc_done = 0;
+        for (const auto tick : mc.multicastRecord(gid).deliveredAt)
+            mc_done = std::max(mc_done, tick);
+        const auto mc_segments =
+            static_cast<std::uint64_t>(
+                mc.stats().pathLength.max());
+
+        sim::Simulator s2;
+        core::RmbNetwork uc(s2, cfg(n, k));
+        for (const auto member : members)
+            uc.send(0, member, payload);
+        drain(s2, uc);
+        sim::Tick uc_done = 0;
+        std::uint64_t uc_segments = 0;
+        for (net::MessageId id = 1; id <= uc.numMessages(); ++id) {
+            uc_done = std::max(uc_done, uc.message(id).delivered);
+            uc_segments += static_cast<std::uint64_t>(
+                (uc.message(id).dst + n - 0) % n);
+        }
+
+        t.addRow({TextTable::num(
+                      static_cast<std::uint64_t>(members.size())),
+                  TextTable::num(static_cast<std::uint64_t>(
+                      mc_done)),
+                  TextTable::num(static_cast<std::uint64_t>(
+                      uc_done)),
+                  TextTable::num(static_cast<double>(uc_done) /
+                                     static_cast<double>(mc_done),
+                                 2),
+                  TextTable::num(mc_segments) + " vs " +
+                      TextTable::num(uc_segments)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    TextTable b("broadcast completion time vs ring size, k = 4,"
+                " payload 64",
+                {"N", "broadcast done", "per-node slope (ticks)"});
+    sim::Tick prev = 0;
+    std::uint32_t prev_n = 0;
+    for (const std::uint32_t nodes : {8u, 16u, 32u, 64u}) {
+        sim::Simulator s;
+        core::RmbNetwork net(s, cfg(nodes, k));
+        const auto gid = net.broadcast(0, payload);
+        drain(s, net);
+        sim::Tick done = 0;
+        for (const auto tick :
+             net.multicastRecord(gid).deliveredAt)
+            done = std::max(done, tick);
+        b.addRow({TextTable::num(std::uint64_t{nodes}),
+                  TextTable::num(static_cast<std::uint64_t>(done)),
+                  prev_n == 0
+                      ? std::string("-")
+                      : TextTable::num(
+                            static_cast<double>(done - prev) /
+                                (nodes - prev_n),
+                            2)});
+        prev = done;
+        prev_n = nodes;
+    }
+    b.print(std::cout);
+
+    std::cout << "\nShape check: multicast time is one circuit"
+                 " lifetime regardless of group size (the tap"
+                 " interface), so speedup grows ~linearly with"
+                 " group size; broadcast scales linearly in N with"
+                 " a slope of header+ack+flit per extra hop.\n";
+    return 0;
+}

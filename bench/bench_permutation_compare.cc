@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Experiment E6 (paper section 3): permutation routing across the
+ * RMB and every comparison architecture - hypercube, EHC, fat tree,
+ * mesh - plus the arbitrated multibus, all simulated with identical
+ * circuit timing so only topology and switching strategy differ.
+ * Reports the makespan of random full permutations and of the
+ * classical adversarial patterns.
+ */
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "baselines/fattree.hh"
+#include "baselines/hypercube.hh"
+#include "baselines/mesh.hh"
+#include "baselines/multibus.hh"
+#include "bench/bench_util.hh"
+#include "common/bitutils.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace {
+
+using namespace rmb;
+
+struct Candidate
+{
+    std::string name;
+    std::function<std::unique_ptr<net::Network>(
+        sim::Simulator &, std::uint32_t n, std::uint32_t k,
+        std::uint64_t seed)>
+        make;
+};
+
+std::vector<Candidate>
+candidates()
+{
+    using baseline::CircuitConfig;
+    auto circuit_cfg = [](std::uint64_t seed) {
+        CircuitConfig c;
+        c.seed = seed;
+        return c;
+    };
+    return {
+        {"RMB",
+         [](sim::Simulator &s, std::uint32_t n, std::uint32_t k,
+            std::uint64_t seed) -> std::unique_ptr<net::Network> {
+             core::RmbConfig cfg;
+             cfg.numNodes = n;
+             cfg.numBuses = k;
+             cfg.seed = seed;
+             cfg.verify = core::VerifyLevel::Off;
+             return std::make_unique<core::RmbNetwork>(s, cfg);
+         }},
+        {"IdealRing",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t k, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             return std::make_unique<baseline::IdealRingNetwork>(
+                 s, n, k, circuit_cfg(seed));
+         }},
+        {"Hypercube",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             return std::make_unique<baseline::HypercubeNetwork>(
+                 s, log2Floor(n), circuit_cfg(seed));
+         }},
+        {"EHC",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             return std::make_unique<baseline::HypercubeNetwork>(
+                 s, log2Floor(n), circuit_cfg(seed), true);
+         }},
+        {"FatTree",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t k, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             return std::make_unique<baseline::FatTreeNetwork>(
+                 s, n, k, circuit_cfg(seed));
+         }},
+        {"Mesh",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             const auto side = static_cast<std::uint32_t>(
+                 1u << (log2Floor(n) / 2));
+             return std::make_unique<baseline::MeshNetwork>(
+                 s, side, n / side, circuit_cfg(seed));
+         }},
+        {"MultiBus",
+         [circuit_cfg](sim::Simulator &s, std::uint32_t n,
+                       std::uint32_t k, std::uint64_t seed)
+             -> std::unique_ptr<net::Network> {
+             return std::make_unique<baseline::MultiBusNetwork>(
+                 s, n, k, circuit_cfg(seed));
+         }},
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E6", "permutation routing: RMB vs hypercube, EHC,"
+                        " fat tree, mesh, multibus (section 3)");
+
+    const int trials = bench::fastMode() ? 2 : 6;
+    const std::uint32_t payload = 32;
+
+    for (std::uint32_t n : {16u, 64u}) {
+        const std::uint32_t k = log2Floor(n); // paper's design point
+        TextTable t("random permutation makespan (ticks), N = " +
+                        std::to_string(n) + ", k = " +
+                        std::to_string(k) + ", payload = " +
+                        std::to_string(payload) + " flits",
+                    {"network", "makespan", "mean latency",
+                     "mean setup", "retries/msg", "completed"});
+        for (const auto &c : candidates()) {
+            double makespan = 0.0;
+            double lat = 0.0;
+            double setup = 0.0;
+            double retries = 0.0;
+            std::uint64_t completed = 0;
+            for (int trial = 0; trial < trials; ++trial) {
+                sim::Random rng(
+                    static_cast<std::uint64_t>(trial) * 59 + 11);
+                const auto pairs = workload::toPairs(
+                    workload::randomFullTraffic(n, rng));
+                sim::Simulator s;
+                auto net = c.make(s, n, k,
+                                  static_cast<std::uint64_t>(trial) +
+                                      1);
+                const auto r = workload::runBatch(*net, pairs,
+                                                  payload,
+                                                  20'000'000);
+                if (r.completed)
+                    ++completed;
+                makespan += static_cast<double>(r.makespan);
+                lat += r.meanLatency;
+                setup += r.meanSetupLatency;
+                retries += static_cast<double>(r.retries) /
+                           static_cast<double>(pairs.size());
+            }
+            t.addRow({c.name, TextTable::num(makespan / trials, 0),
+                      TextTable::num(lat / trials, 0),
+                      TextTable::num(setup / trials, 0),
+                      TextTable::num(retries / trials, 2),
+                      std::to_string(completed) + "/" +
+                          std::to_string(trials)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // Adversarial patterns at N = 32.
+    const std::uint32_t n = 32;
+    const std::uint32_t k = 5;
+    struct Pattern
+    {
+        std::string name;
+        workload::Permutation perm;
+    };
+    const std::vector<Pattern> patterns{
+        {"neighbour (rot 1)", workload::rotation(n, 1)},
+        {"tornado (rot N/2)", workload::rotation(n, n / 2)},
+        {"bit-reversal", workload::bitReversal(n)},
+        {"bit-complement", workload::bitComplement(n)},
+        {"shuffle", workload::perfectShuffle(n)},
+    };
+    TextTable a("adversarial patterns, makespan (ticks), N = 32, "
+                "k = 5 (4 for fat tree)",
+                {"network", "neighbour", "tornado", "bit-rev",
+                 "bit-compl", "shuffle"});
+    for (const auto &c : candidates()) {
+        std::vector<std::string> row{c.name};
+        for (const auto &p : patterns) {
+            sim::Simulator s;
+            // Fat tree requires power-of-two capacity.
+            const std::uint32_t kk =
+                c.name == "FatTree" ? 4u : k;
+            auto net = c.make(s, n, kk, 1);
+            const auto r = workload::runBatch(
+                *net, workload::toPairs(p.perm), payload,
+                20'000'000);
+            row.push_back(r.completed
+                              ? TextTable::num(
+                                    static_cast<std::uint64_t>(
+                                        r.makespan))
+                              : std::string("DNF"));
+        }
+        a.addRow(row);
+    }
+    a.print(std::cout);
+
+    std::cout << "\nPaper shape check: the RMB tracks the ideal"
+                 " k-channel ring closely, beats the k-bus system"
+                 " on every pattern with spatial reuse, and trades"
+                 " blows with the log-diameter networks while using"
+                 " a fraction of their cross points (see E2/E3).\n";
+    return 0;
+}

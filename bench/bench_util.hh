@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Every bench regenerates one artifact of the paper (see DESIGN.md's
+ * experiment index) and prints it as a TextTable so outputs are
+ * uniform and diffable.  Set the environment variable RMB_BENCH_FAST
+ * to shrink the sweeps for smoke runs.
+ */
+
+#ifndef RMB_BENCH_BENCH_UTIL_HH
+#define RMB_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+
+namespace rmb {
+namespace bench {
+
+/** True when RMB_BENCH_FAST is set: smaller sweeps, same shapes. */
+inline bool
+fastMode()
+{
+    return std::getenv("RMB_BENCH_FAST") != nullptr;
+}
+
+/** Print the experiment banner (id + paper artifact). */
+inline void
+banner(const std::string &exp_id, const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << "Experiment " << exp_id << ": " << what << "\n"
+              << "==============================================\n";
+}
+
+} // namespace bench
+} // namespace rmb
+
+#endif // RMB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment E8 (paper section 4): "an RMB with k buses should not
+ * be considered equivalent of a k bus system ... it will support
+ * [many more than] k virtual buses simultaneously."  We measure the
+ * peak and average number of concurrently open virtual buses under
+ * ring-local traffic of varying locality and compare with k.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/multibus.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/traffic.hh"
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E8", "virtual buses vs physical buses"
+                        " (section 4 closing remark)");
+
+    const sim::Tick duration = bench::fastMode() ? 30'000 : 120'000;
+    const std::uint32_t n = 32;
+    const std::uint32_t payload = 64;
+
+    TextTable t("concurrent circuits under open-loop load, N = 32",
+                {"network", "k", "locality", "rate/node",
+                 "peak circuits", "avg circuits", "peak/k"});
+
+    for (std::uint32_t k : {2u, 4u}) {
+        for (std::uint32_t max_dist : {2u, 4u, 16u}) {
+            for (bool rmb_net : {true, false}) {
+                sim::Simulator s;
+                std::unique_ptr<net::Network> net;
+                if (rmb_net) {
+                    core::RmbConfig cfg;
+                    cfg.numNodes = n;
+                    cfg.numBuses = k;
+                    cfg.verify = core::VerifyLevel::Off;
+                    net = std::make_unique<core::RmbNetwork>(s, cfg);
+                } else {
+                    baseline::CircuitConfig cfg;
+                    net = std::make_unique<
+                        baseline::MultiBusNetwork>(s, n, k, cfg);
+                }
+                workload::LocalRingTraffic pattern(n, max_dist);
+                sim::Random rng(k * 100 + max_dist);
+                const double rate = 0.01;
+                (void)workload::runOpenLoop(*net, pattern, rate,
+                                            payload, duration, rng,
+                                            duration / 10);
+                const auto &cs = net->stats().activeCircuits;
+                t.addRow(
+                    {net->name(), TextTable::num(std::uint64_t{k}),
+                     "d<=" + std::to_string(max_dist),
+                     TextTable::num(rate, 3),
+                     TextTable::num(static_cast<std::uint64_t>(
+                         cs.maximum())),
+                     TextTable::num(cs.average(s.now()), 2),
+                     TextTable::num(static_cast<double>(
+                                        cs.maximum()) /
+                                        k,
+                                    2)});
+            }
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape check: under local traffic the RMB"
+                 " sustains several times k concurrent virtual"
+                 " buses (spatial reuse along the ring), while the"
+                 " conventional k-bus system is pinned at k.\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Experiment E20 (paper section 2.2 vs reference [10]): circuit
+ * switching on the RMB versus classical buffered wormhole on the
+ * same one-way ring.
+ *
+ * The paper's protocol *chooses* not to be wormhole: "Data flits
+ * are only transmitted after an acknowledgement is received for the
+ * HF ... in order to avoid buffering of DFs at intermediate nodes
+ * and is where our protocol differs from traditional wormhole
+ * routing."  This bench quantifies the trade: the Hack round trip
+ * the RMB pays per message, versus the k one-flit buffers per node
+ * the wormhole router pays in hardware (and its in-network tree
+ * blocking under load).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/wormhole_ring.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+#include "workload/traffic.hh"
+
+namespace {
+
+using namespace rmb;
+
+std::unique_ptr<net::Network>
+makeNet(bool wormhole, sim::Simulator &s, std::uint32_t n,
+        std::uint32_t k, std::uint64_t seed)
+{
+    if (wormhole) {
+        baseline::WormholeConfig cfg;
+        cfg.vcsPerClass = k / 2 ? k / 2 : 1; // match the k budget
+        return std::make_unique<baseline::WormholeRingNetwork>(
+            s, n, cfg);
+    }
+    core::RmbConfig cfg;
+    cfg.numNodes = n;
+    cfg.numBuses = k;
+    cfg.seed = seed;
+    cfg.verify = core::VerifyLevel::Off;
+    return std::make_unique<core::RmbNetwork>(s, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rmb;
+
+    bench::banner("E20", "RMB circuit switching vs buffered"
+                         " wormhole on the same ring (section 2.2"
+                         " vs reference [10])");
+
+    const std::uint32_t n = 32;
+    const std::uint32_t k = 4;
+    const int trials = bench::fastMode() ? 2 : 6;
+
+    // Payload sweep: the Hack round trip is a fixed cost, so the
+    // circuit approach catches up as messages grow.
+    TextTable t("random permutation makespan vs payload, N = 32"
+                " (RMB: k = 4 buses; wormhole: 2 VCs/class, one-"
+                "flit buffers)",
+                {"payload", "RMB", "wormhole", "RMB/wormhole",
+                 "unloaded RMB latency", "unloaded WH latency"});
+    for (const std::uint32_t payload : {4u, 16u, 64u, 256u}) {
+        double rmb_ms = 0.0;
+        double wh_ms = 0.0;
+        for (int trial = 0; trial < trials; ++trial) {
+            sim::Random rng(
+                static_cast<std::uint64_t>(trial) * 71 + payload);
+            const auto pairs = workload::toPairs(
+                workload::randomFullTraffic(n, rng));
+            for (const bool wormhole : {false, true}) {
+                sim::Simulator s;
+                auto net = makeNet(wormhole, s, n, k,
+                                   static_cast<std::uint64_t>(
+                                       trial) +
+                                       1);
+                const auto r = workload::runBatch(*net, pairs,
+                                                  payload,
+                                                  20'000'000);
+                (wormhole ? wh_ms : rmb_ms) +=
+                    static_cast<double>(r.makespan) / trials;
+            }
+        }
+        // Unloaded single-message latency at the mean distance
+        // (16 hops): RMB = 16*(4+2) + (p+1+16); WH = 16*4 + p+1.
+        const std::uint64_t rmb_lat = 16 * 6 + payload + 1 + 16;
+        const std::uint64_t wh_lat = 16 * 4 + payload + 1;
+        t.addRow({TextTable::num(std::uint64_t{payload}),
+                  TextTable::num(rmb_ms, 0),
+                  TextTable::num(wh_ms, 0),
+                  TextTable::num(rmb_ms / wh_ms, 2),
+                  TextTable::num(rmb_lat),
+                  TextTable::num(wh_lat)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    // Open-loop local traffic: standing circuits vs buffer reuse.
+    TextTable o("open-loop ring-local (d <= 4) traffic, payload 16,"
+                " N = 32",
+                {"rate/node", "RMB throughput", "WH throughput",
+                 "RMB mean lat", "WH mean lat"});
+    for (const double rate : {0.002, 0.008, 0.02}) {
+        double thr[2] = {0, 0};
+        double lat[2] = {0, 0};
+        for (const bool wormhole : {false, true}) {
+            sim::Simulator s;
+            auto net = makeNet(wormhole, s, n, k, 1);
+            workload::LocalRingTraffic pattern(n, 4);
+            sim::Random rng(9);
+            const auto r = workload::runOpenLoop(
+                *net, pattern, rate, 16,
+                bench::fastMode() ? 30'000 : 100'000, rng, 5'000);
+            thr[wormhole] = r.throughput;
+            lat[wormhole] = r.meanLatency;
+        }
+        o.addRow({TextTable::num(rate, 3),
+                  TextTable::num(thr[0], 4),
+                  TextTable::num(thr[1], 4),
+                  TextTable::num(lat[0], 0),
+                  TextTable::num(lat[1], 0)});
+    }
+    o.print(std::cout);
+
+    std::cout << "\nShape checks: a real crossover.  Wormhole wins"
+                 " short messages outright (no Hack round trip);"
+                 " the RMB overtakes it as payload grows (its"
+                 " dedicated circuits stream at full link rate"
+                 " while worms time-share every link they cross)."
+                 "  Under heavy local load wormhole's in-network"
+                 " tree blocking collapses throughput while the"
+                 " RMB keeps accepting (a Nacked RMB request holds"
+                 " nothing).  Plus the hardware argument section"
+                 " 2.2 actually makes: the RMB buffers no data"
+                 " flits at intermediate nodes at all.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Interactive explorer for the section-3.2 hardware cost models:
+ * pass N and k on the command line and get the full comparison
+ * table for that design point.
+ *
+ *   $ ./examples/cost_explorer 256 8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hh"
+#include "analysis/extended_costs.hh"
+#include "analysis/switch_structure.hh"
+#include "common/bitutils.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rmb;
+    using namespace rmb::analysis;
+
+    const std::uint64_t n =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+    const std::uint64_t k =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+
+    if (!isPowerOfTwo(n) || !isPowerOfTwo(k) || k < 1 || k > n ||
+        n % k != 0) {
+        std::fprintf(stderr,
+                     "usage: cost_explorer [N] [k] with N, k powers"
+                     " of two, k <= N (constraints of the hypercube"
+                     " and fat-tree models)\n");
+        return 1;
+    }
+
+    TextTable t("hardware to support a " + std::to_string(k) +
+                    "-permutation over " + std::to_string(n) +
+                    " nodes (paper section 3.2)",
+                {"architecture", "links", "cross points", "area",
+                 "bisection (xB)", "constraint"});
+    for (const auto &arch : allArchitectures()) {
+        const Costs c = arch.costs(n, k);
+        t.addRow({arch.name, TextTable::num(c.links),
+                  TextTable::num(c.crossPoints),
+                  TextTable::num(c.area),
+                  TextTable::num(c.bisection), arch.constraint});
+    }
+    t.print(std::cout);
+
+    // The systems this reproduction builds beyond the paper's set.
+    TextTable x("extended systems at the same design point"
+                " (this reproduction's accounting)",
+                {"architecture", "links", "cross points", "area",
+                 "bisection (xB)"});
+    const Costs dual = dualRingRmbCosts(n, k);
+    x.addRow({"RMB dual ring (2x" + std::to_string(k) + ")",
+              TextTable::num(dual.links),
+              TextTable::num(dual.crossPoints),
+              TextTable::num(dual.area),
+              TextTable::num(dual.bisection)});
+    if (isPowerOfTwo(n)) {
+        const auto side = static_cast<std::uint64_t>(1)
+                          << (log2Floor(n) / 2);
+        const Costs torus = rmbTorusCosts(side, n / side, k);
+        x.addRow({"RMB torus (" + std::to_string(side) + "x" +
+                      std::to_string(n / side) + ")",
+                  TextTable::num(torus.links),
+                  TextTable::num(torus.crossPoints),
+                  TextTable::num(torus.area),
+                  TextTable::num(torus.bisection)});
+    }
+    const Costs cube = karyNcubeCosts(4, log2Floor(n) / 2);
+    x.addRow({"4-ary " + std::to_string(log2Floor(n) / 2) +
+                  "-cube",
+              TextTable::num(cube.links),
+              TextTable::num(cube.crossPoints),
+              TextTable::num(cube.area),
+              TextTable::num(cube.bisection)});
+    x.print(std::cout);
+
+    std::cout << "\nExact RMB cross points from the constructed"
+                 " switch (N*(3k-2), vs the paper's 3Nk): "
+              << exactRmbCrossPoints(n, k) << " (+"
+              << 2 * n * k
+              << " PE-access mux points if counted)\n";
+
+    std::cout << "\nReading guide: the RMB spends more links than"
+                 " the fat tree but needs only 3 cross points per"
+                 " output port and unit-length wires; the hypercube"
+                 " family pays Theta(N^2) area.  See DESIGN.md"
+                 " experiments E1-E4.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's motivating scenario (section 1): "real-time and
+ * distributed multimedia systems" where delivering data within an
+ * acceptable delay matters more than raw compute.
+ *
+ * Four long-lived media streams hold circuits across the ring while
+ * sporadic short control messages are injected around them.  The
+ * demo shows the property circuit switching buys: once established,
+ * a stream's flits arrive with zero jitter (the virtual bus is
+ * dedicated), while compaction keeps enough top-bus headroom for
+ * the control traffic to weave between the streams.
+ *
+ *   $ ./examples/multimedia_stream
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "rmb/network.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+int
+main()
+{
+    using namespace rmb;
+
+    sim::Simulator simulator;
+    core::RmbConfig config;
+    config.numNodes = 24;
+    config.numBuses = 4;
+    config.verify = core::VerifyLevel::Cheap;
+    core::RmbNetwork network(simulator, config);
+
+    // --- media plane: four streams of 20 chunks each -------------
+    struct Stream
+    {
+        net::NodeId src;
+        net::NodeId dst;
+        std::vector<net::MessageId> chunks;
+    };
+    std::vector<Stream> streams{
+        {0, 9, {}}, {6, 15, {}}, {12, 21, {}}, {18, 3, {}}};
+    constexpr std::uint32_t kChunkFlits = 256;
+    constexpr int kChunks = 20;
+
+    // --- control plane: short command messages --------------------
+    sim::Random rng(7);
+    std::vector<net::MessageId> control;
+
+    // Interleave: every stream enqueues its next chunk as soon as
+    // the previous one finished (the PE send port enforces this
+    // ordering for us - we just enqueue them all); control traffic
+    // arrives at random instants.
+    for (auto &stream : streams)
+        for (int chunk = 0; chunk < kChunks; ++chunk)
+            stream.chunks.push_back(
+                network.send(stream.src, stream.dst, kChunkFlits));
+
+    for (int i = 0; i < 60; ++i) {
+        simulator.schedule(
+            rng.uniformRange(0, 20'000), [&network, &control, &rng] {
+                const auto src = static_cast<net::NodeId>(
+                    rng.uniformInt(24));
+                auto dst = static_cast<net::NodeId>(
+                    rng.uniformInt(23));
+                if (dst >= src)
+                    ++dst;
+                control.push_back(network.send(src, dst, 4));
+            });
+    }
+
+    simulator.runFor(20'000);
+    while (!network.quiescent())
+        simulator.run(2048);
+
+    // --- report ----------------------------------------------------
+    std::printf("multimedia demo on RMB(N=24, k=4), finished at"
+                " tick %llu\n\n",
+                static_cast<unsigned long long>(simulator.now()));
+
+    for (const auto &stream : streams) {
+        sim::SampleStat inter_arrival;
+        sim::SampleStat stream_lat;
+        sim::Tick last = 0;
+        for (const auto id : stream.chunks) {
+            const net::Message &m = network.message(id);
+            stream_lat.add(static_cast<double>(m.totalLatency() -
+                                               (m.firstAttempt -
+                                                m.created)));
+            if (last != 0)
+                inter_arrival.add(
+                    static_cast<double>(m.delivered - last));
+            last = m.delivered;
+        }
+        std::printf("stream %2u->%-2u: chunk service %6.1f +- %5.1f"
+                    " ticks, inter-arrival jitter (stddev) %.1f\n",
+                    stream.src, stream.dst, stream_lat.mean(),
+                    stream_lat.stddev(), inter_arrival.stddev());
+    }
+
+    sim::SampleStat control_lat;
+    for (const auto id : control)
+        control_lat.add(static_cast<double>(
+            network.message(id).totalLatency()));
+    std::printf("\ncontrol messages: %llu delivered, latency mean"
+                " %.1f / p95 %.1f / max %.0f ticks\n",
+                static_cast<unsigned long long>(control_lat.count()),
+                control_lat.mean(), control_lat.percentile(95),
+                control_lat.max());
+    std::printf("\nThe streams' service times are flat (dedicated"
+                " virtual buses; stddev ~ retry noise only) and the"
+                " short control messages still get through - the"
+                " compaction protocol keeps recycling the top bus"
+                " under four standing streams.\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Rebuild everything and regenerate the checked-in result files:
+#   test_output.txt  - full ctest log
+#   bench_output.txt - every experiment's regenerated tables
+# Usage: scripts/regenerate.sh [--fast]
+set -e
+cd "$(dirname "$0")/.."
+[ "$1" = "--fast" ] && export RMB_BENCH_FAST=1
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+( for b in build/bench/*; do echo "### $b"; "$b"; echo; done ) \
+    2>&1 | tee bench_output.txt

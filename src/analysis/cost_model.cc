@@ -1,0 +1,147 @@
+#include "analysis/cost_model.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rmb {
+namespace analysis {
+
+namespace {
+
+void
+checkCommon(std::uint64_t n, std::uint64_t k)
+{
+    rmb_assert(n >= 2, "need at least 2 nodes, got ", n);
+    rmb_assert(k >= 1 && k <= n, "permutation capability k=", k,
+               " must be in [1, N=", n, "]");
+}
+
+} // namespace
+
+Costs
+rmbCosts(std::uint64_t n, std::uint64_t k)
+{
+    checkCommon(n, k);
+    Costs c;
+    c.links = n * k;
+    c.crossPoints = 3 * n * k;
+    c.area = n * k;
+    c.bisection = k;
+    return c;
+}
+
+Costs
+hypercubeCosts(std::uint64_t n)
+{
+    rmb_assert(isPowerOfTwo(n), "hypercube needs N = 2^n, got ", n);
+    const std::uint64_t dim = log2Floor(n);
+    Costs c;
+    c.links = n * dim;
+    c.crossPoints = n * dim * dim;
+    c.area = n * n;
+    c.bisection = n / 2;
+    return c;
+}
+
+Costs
+ehcCosts(std::uint64_t n)
+{
+    rmb_assert(isPowerOfTwo(n), "EHC needs N = 2^n, got ", n);
+    const std::uint64_t deg = log2Floor(n) + 1;
+    Costs c;
+    c.links = n * deg;
+    c.crossPoints = n * deg * deg;
+    c.area = n * n;
+    c.bisection = n / 2 + n / 2; // doubled links in one dimension
+    return c;
+}
+
+Costs
+gfcCosts(std::uint64_t n, std::uint64_t k)
+{
+    checkCommon(n, k);
+    rmb_assert(isPowerOfTwo(n), "GFC needs N = 2^n, got ", n);
+    const std::uint64_t clusters = std::max<std::uint64_t>(n / k, 2);
+    Costs c;
+    // Paper's bound: fewer than (N/k) * log2(N/k) links.
+    c.links = clusters * log2Ceil(clusters);
+    const std::uint64_t deg = log2Ceil(clusters);
+    c.crossPoints = clusters * (deg + 1) * (deg + 1);
+    c.area = clusters * clusters;
+    c.bisection = k;
+    return c;
+}
+
+Costs
+fatTreeCosts(std::uint64_t n, std::uint64_t k)
+{
+    checkCommon(n, k);
+    rmb_assert(n % k == 0, "fat tree needs k | N; N=", n, " k=", k);
+    rmb_assert(isPowerOfTwo(k), "fat tree leaf groups need k = 2^i");
+    rmb_assert(isPowerOfTwo(n / k),
+               "fat tree needs a power-of-two number of leaf groups");
+    const std::uint64_t groups = n / k;
+    Costs c;
+    // Paper: N*log2(k) links inside the leaf groups plus
+    // (N/k - 2)*k = N - 2k links in the tree above them.
+    c.links = n * log2Floor(std::max<std::uint64_t>(k, 2)) + n -
+              2 * k;
+    c.crossPoints = (groups - 1) * 6 * k * k + groups * 6 * k * k;
+    c.area = 12 * n * k;
+    c.bisection = k;
+    return c;
+}
+
+Costs
+meshCosts(std::uint64_t n, std::uint64_t k)
+{
+    checkCommon(n, k);
+    Costs c;
+    const double root_k = std::sqrt(static_cast<double>(k));
+    const auto expand =
+        static_cast<std::uint64_t>(std::ceil(root_k));
+    c.links = 2 * n * expand;
+    c.crossPoints = 16 * n * k;
+    c.area = n * k;
+    const auto side = static_cast<std::uint64_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    c.bisection = side * expand;
+    return c;
+}
+
+const std::vector<Architecture> &
+allArchitectures()
+{
+    static const std::vector<Architecture> archs = {
+        {"RMB (ring)", [](std::uint64_t n, std::uint64_t k) {
+             return rmbCosts(n, k);
+         },
+         "k buses"},
+        {"Hypercube", [](std::uint64_t n, std::uint64_t) {
+             return hypercubeCosts(n);
+         },
+         "N = 2^n"},
+        {"EHC", [](std::uint64_t n, std::uint64_t) {
+             return ehcCosts(n);
+         },
+         "N = 2^n, full permutation"},
+        {"GFC (scaled)", [](std::uint64_t n, std::uint64_t k) {
+             return gfcCosts(n, k);
+         },
+         "N = 2^n"},
+        {"Fat tree", [](std::uint64_t n, std::uint64_t k) {
+             return fatTreeCosts(n, k);
+         },
+         "k | N, k = 2^i"},
+        {"Mesh", [](std::uint64_t n, std::uint64_t k) {
+             return meshCosts(n, k);
+         },
+         "expanded sqrt(k) per dim"},
+    };
+    return archs;
+}
+
+} // namespace analysis
+} // namespace rmb

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytic hardware-cost models from section 3.2 of the paper.
+ *
+ * For each architecture the paper counts, as a function of the node
+ * count N and the permutation capability k (the network must route any
+ * k-permutation):
+ *
+ *  - number of links,
+ *  - number of cross points (wire intersections in the switches),
+ *  - VLSI layout area, and
+ *  - bisection bandwidth (in units of a single link bandwidth B).
+ *
+ * The formulas below follow the paper's own accounting, including its
+ * constants (e.g. the fat tree's >= 6 cross points per k x k switch
+ * stage and >= 12 area constant), so the generated tables reproduce
+ * section 3.2 rather than some other textbook's numbers.  Where the
+ * paper gives only an order (e.g. hypercube area Theta(N^2)) we use
+ * constant 1 and say so in the bench output.
+ */
+
+#ifndef RMB_ANALYSIS_COST_MODEL_HH
+#define RMB_ANALYSIS_COST_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rmb {
+namespace analysis {
+
+/** Cost summary of one architecture at one (N, k) design point. */
+struct Costs
+{
+    std::uint64_t links = 0;
+    std::uint64_t crossPoints = 0;
+    std::uint64_t area = 0;       //!< layout area, unit squares
+    std::uint64_t bisection = 0;  //!< in units of link bandwidth B
+};
+
+/**
+ * RMB on a ring: k buses between each adjacent INC pair.
+ * links = N*k (all unit length), cross points = 3*N*k (each output
+ * port selects among 3 inputs), area = Theta(N*k), bisection = k*B.
+ */
+Costs rmbCosts(std::uint64_t n, std::uint64_t k);
+
+/**
+ * Binary hypercube with N = 2^n nodes; paper accounting:
+ * links = N*log2(N), cross points = N*(log2(N))^2, area = Theta(N^2).
+ * Supports (at least) log2(N)-permutations without a known
+ * contention-free embedding.
+ */
+Costs hypercubeCosts(std::uint64_t n);
+
+/**
+ * Enhanced hypercube (Choi & Somani): duplicate links in one
+ * dimension; degree log2(N)+1, embeds any full permutation.
+ * links = N*(log2(N)+1), cross points = N*(log2(N)+1)^2,
+ * area = Theta(N^2).
+ */
+Costs ehcCosts(std::uint64_t n);
+
+/**
+ * Generalized folding cube scaled down to k-permutation capability;
+ * the paper bounds its links by (N/k)*log2(N/k) and notes area and
+ * cross points comparable to the EHC (Theta(N^2) area).
+ */
+Costs gfcCosts(std::uint64_t n, std::uint64_t k);
+
+/**
+ * Fat tree sized for k-permutations (paper Figure 11): N/k leaf
+ * nodes of k PEs, k links per level above.
+ * links = N*log2(k) + N - 2k,
+ * cross points = (N/k - 1)*6*k^2 + (N/k)*6*k^2,
+ * area = 12*N*k.
+ */
+Costs fatTreeCosts(std::uint64_t n, std::uint64_t k);
+
+/**
+ * 2-D mesh expanded by sqrt(k) per dimension so k wires cross any
+ * submesh boundary: links = 2*N*sqrt(k) (rounded up), cross points =
+ * 16*N*k, area = N*k, bisection = sqrt(N)*sqrt(k).
+ */
+Costs meshCosts(std::uint64_t n, std::uint64_t k);
+
+/** A named architecture cost function of (N, k), for table loops. */
+struct Architecture
+{
+    std::string name;
+    std::function<Costs(std::uint64_t, std::uint64_t)> costs;
+    /** Constraint note printed with the tables (e.g. "N = 2^n"). */
+    std::string constraint;
+};
+
+/** All architectures compared in section 3.2, in the paper's order. */
+const std::vector<Architecture> &allArchitectures();
+
+} // namespace analysis
+} // namespace rmb
+
+#endif // RMB_ANALYSIS_COST_MODEL_HH

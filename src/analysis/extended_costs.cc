@@ -1,0 +1,57 @@
+#include "analysis/extended_costs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace analysis {
+
+Costs
+dualRingRmbCosts(std::uint64_t n, std::uint64_t k)
+{
+    const Costs single = rmbCosts(n, k);
+    Costs c;
+    c.links = 2 * single.links;
+    c.crossPoints = 2 * single.crossPoints;
+    c.area = 2 * single.area;
+    c.bisection = 2 * single.bisection;
+    return c;
+}
+
+Costs
+rmbTorusCosts(std::uint64_t width, std::uint64_t height,
+              std::uint64_t k)
+{
+    rmb_assert(width >= 2 && height >= 2,
+               "torus needs width and height >= 2");
+    rmb_assert(k >= 1, "torus needs k >= 1");
+    const std::uint64_t n = width * height;
+    Costs c;
+    // H row rings of W*k links + W column rings of H*k links.
+    c.links = height * (width * k) + width * (height * k);
+    c.crossPoints = 3 * c.links;
+    c.area = 2 * n * k;
+    c.bisection = std::min(width, height) * k;
+    return c;
+}
+
+Costs
+karyNcubeCosts(std::uint64_t radix, std::uint64_t dims)
+{
+    rmb_assert(radix >= 2, "k-ary n-cube needs radix >= 2");
+    rmb_assert(dims >= 1, "k-ary n-cube needs >= 1 dimension");
+    std::uint64_t n = 1;
+    for (std::uint64_t d = 0; d < dims; ++d)
+        n *= radix;
+    Costs c;
+    c.links = 2 * n * dims;
+    const std::uint64_t ports = 2 * dims + 1;
+    c.crossPoints = n * ports * ports;
+    c.area = n * (2 * dims) * (2 * dims);
+    c.bisection = 2 * n / radix;
+    return c;
+}
+
+} // namespace analysis
+} // namespace rmb

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware-cost models for the systems this reproduction builds
+ * beyond the paper's own comparison set, using the same accounting
+ * style as section 3.2 (unit-cost links, cross points as switch
+ * wire intersections, order-of-magnitude layout area).  The paper
+ * names all three structures - two counter-rotating rings (section
+ * 2.1), 2-D grids of RMBs and the k-ary n-cube (section 4) - but
+ * costs none of them; these formulas are this reproduction's
+ * extension and each choice is documented at the definition.
+ */
+
+#ifndef RMB_ANALYSIS_EXTENDED_COSTS_HH
+#define RMB_ANALYSIS_EXTENDED_COSTS_HH
+
+#include "analysis/cost_model.hh"
+
+namespace rmb {
+namespace analysis {
+
+/**
+ * Dual counter-rotating RMB: two independent planes of the ring
+ * RMB.  links = 2*N*k, cross points = 6*N*k, area = 2*N*k (two
+ * parallel unit-width bus bundles), bisection = 2*k (one k-bundle
+ * per direction crosses each cut).
+ */
+Costs dualRingRmbCosts(std::uint64_t n, std::uint64_t k);
+
+/**
+ * W x H torus of RMB rings (k buses per ring): H row rings of W*k
+ * links plus W column rings of H*k links = 2*N*k links and 6*N*k
+ * cross points (every link still terminates in a 3-source port).
+ * Area = 2*N*k (each node hosts a row-ring and a column-ring INC);
+ * bisection = min(W, H) * k (cutting the torus across the narrow
+ * dimension severs one one-way ring per row or column).
+ */
+Costs rmbTorusCosts(std::uint64_t width, std::uint64_t height,
+                    std::uint64_t k);
+
+/**
+ * r-ary n-cube with bidirectional channels: links = 2*N*n (two
+ * directed links per node per dimension); cross points: each node
+ * is a (2n+1)-port crossbar, (2n+1)^2 per node; bisection = 2*N/r
+ * (Dally's accounting: the cut crosses N/r rings, two directions
+ * each); area = Theta(N * (2n)^2) for the per-node crossbars (wire
+ * length effects, which favour low n, are left to the discussion -
+ * the same simplification section 3.2 applies to the hypercube).
+ */
+Costs karyNcubeCosts(std::uint64_t radix, std::uint64_t dims);
+
+} // namespace analysis
+} // namespace rmb
+
+#endif // RMB_ANALYSIS_EXTENDED_COSTS_HH

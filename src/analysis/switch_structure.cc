@@ -1,0 +1,82 @@
+#include "analysis/switch_structure.hh"
+
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace analysis {
+
+SwitchStructure::SwitchStructure(std::uint32_t k) : k_(k)
+{
+    rmb_assert(k >= 1, "a switch needs at least one level");
+    matrix_.assign(k_, std::vector<bool>(k_, false));
+    for (std::uint32_t out = 0; out < k_; ++out) {
+        // Output port `out` selects among inputs out-1, out, out+1
+        // (paper section 2.2 / Figure 6), clamped at the edges.
+        for (int d = -1; d <= 1; ++d) {
+            const int in = static_cast<int>(out) + d;
+            if (in >= 0 && in < static_cast<int>(k_))
+                matrix_[static_cast<std::uint32_t>(in)][out] = true;
+        }
+    }
+}
+
+bool
+SwitchStructure::connects(std::uint32_t in, std::uint32_t out) const
+{
+    rmb_assert(in < k_ && out < k_, "port out of range");
+    return matrix_[in][out];
+}
+
+std::uint32_t
+SwitchStructure::interIncCrossPoints() const
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t in = 0; in < k_; ++in)
+        for (std::uint32_t out = 0; out < k_; ++out)
+            count += matrix_[in][out] ? 1 : 0;
+    return count;
+}
+
+std::uint32_t
+SwitchStructure::stagesToReach(std::uint32_t from,
+                               std::uint32_t to) const
+{
+    rmb_assert(from < k_ && to < k_, "port out of range");
+    if (from == to)
+        return 1; // one switch stage passes it straight through
+    // BFS over "apply one switch stage" steps.
+    std::vector<std::uint32_t> dist(k_, UINT32_MAX);
+    std::queue<std::uint32_t> frontier;
+    dist[from] = 0;
+    frontier.push(from);
+    while (!frontier.empty()) {
+        const std::uint32_t level = frontier.front();
+        frontier.pop();
+        for (std::uint32_t next = 0; next < k_; ++next) {
+            if (matrix_[level][next] &&
+                dist[next] == UINT32_MAX) {
+                dist[next] = dist[level] + 1;
+                if (next == to)
+                    return dist[next];
+                frontier.push(next);
+            }
+        }
+    }
+    panic("switch graph is disconnected");
+}
+
+std::uint64_t
+exactRmbCrossPoints(std::uint64_t n, std::uint64_t k,
+                    bool include_pe)
+{
+    const SwitchStructure sw(static_cast<std::uint32_t>(k));
+    std::uint64_t per_node = sw.interIncCrossPoints();
+    if (include_pe)
+        per_node += sw.peCrossPoints();
+    return n * per_node;
+}
+
+} // namespace analysis
+} // namespace rmb

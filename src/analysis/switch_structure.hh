@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Structural model of the INC switch.
+ *
+ * Section 3.2 counts the RMB's cross points as 3*N*k ("each output
+ * has three cross points").  Here the switch is *constructed* - the
+ * input-to-output connection matrix the paper's Figure 6 draws -
+ * and the cross points are counted from the structure.  This both
+ * cross-validates the paper's formula and refines it: boundary
+ * ports (levels 0 and k-1) have only two inter-INC sources, so the
+ * exact count is N*(3k-2), approaching 3*N*k from below as k grows.
+ * The PE access muxes (write to any output, read from any input,
+ * section 2.1) add 2k per node and are counted separately, since
+ * the paper's figure excludes them.
+ */
+
+#ifndef RMB_ANALYSIS_SWITCH_STRUCTURE_HH
+#define RMB_ANALYSIS_SWITCH_STRUCTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rmb {
+namespace analysis {
+
+/** The constructed connection matrix of one INC with k levels. */
+class SwitchStructure
+{
+  public:
+    /** Build the Figure-6 structure for @p k bus levels. */
+    explicit SwitchStructure(std::uint32_t k);
+
+    std::uint32_t numLevels() const { return k_; }
+
+    /** Can input level @p in drive output level @p out? */
+    bool connects(std::uint32_t in, std::uint32_t out) const;
+
+    /** Inter-INC cross points of this switch (= 3k - 2). */
+    std::uint32_t interIncCrossPoints() const;
+
+    /** PE access cross points (write-any + read-any = 2k). */
+    std::uint32_t peCrossPoints() const { return 2 * k_; }
+
+    /**
+     * Minimum number of consecutive INCs a signal must traverse to
+     * get from input level @p from to output level @p to (BFS over
+     * repeated switch stages); the RMB's +-1 switching reaches any
+     * level in |from - to| stages.
+     */
+    std::uint32_t stagesToReach(std::uint32_t from,
+                                std::uint32_t to) const;
+
+  private:
+    std::uint32_t k_;
+    std::vector<std::vector<bool>> matrix_;
+};
+
+/**
+ * Exact RMB cross-point count from the constructed switches:
+ * N * (3k - 2), plus N * 2k when @p include_pe.
+ */
+std::uint64_t exactRmbCrossPoints(std::uint64_t n, std::uint64_t k,
+                                  bool include_pe = false);
+
+} // namespace analysis
+} // namespace rmb
+
+#endif // RMB_ANALYSIS_SWITCH_STRUCTURE_HH

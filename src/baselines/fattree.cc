@@ -1,0 +1,69 @@
+#include "baselines/fattree.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+FatTreeNetwork::FatTreeNetwork(sim::Simulator &simulator,
+                               net::NodeId num_nodes,
+                               std::uint32_t capacity_cap,
+                               const CircuitConfig &config)
+    : CircuitNetwork(simulator, "FatTree", num_nodes, config),
+      capacityCap_(capacity_cap)
+{
+    if (!isPowerOfTwo(num_nodes))
+        fatal("fat tree needs N = 2^m leaves, got ", num_nodes);
+    if (capacity_cap < 1)
+        fatal("fat tree capacity cap must be >= 1");
+
+    // Heap layout: root = 1, leaves = N .. 2N-1.
+    const std::uint32_t heap_size = 2 * num_nodes;
+    up_.resize(heap_size, UINT32_MAX);
+    down_.resize(heap_size, UINT32_MAX);
+    for (std::uint32_t v = 2; v < heap_size; ++v) {
+        // Subtree leaf count of v: N / 2^depth, with depth from the
+        // leaf row.
+        std::uint32_t s = 1;
+        std::uint32_t w = v;
+        while (w < num_nodes) {
+            s <<= 1;
+            w <<= 1;
+        }
+        const std::uint32_t cap =
+            std::min<std::uint32_t>(s, capacityCap_);
+        up_[v] = addLink(cap);
+        down_[v] = addLink(cap);
+    }
+}
+
+std::uint32_t
+FatTreeNetwork::leafOf(net::NodeId p) const
+{
+    return numNodes() + p;
+}
+
+std::vector<LinkId>
+FatTreeNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    std::uint32_t a = leafOf(src);
+    std::uint32_t b = leafOf(dst);
+    // Climb both to the lowest common ancestor.
+    std::vector<LinkId> ups;
+    std::vector<LinkId> downs;
+    while (a != b) {
+        ups.push_back(up_[a]);
+        downs.push_back(down_[b]);
+        a >>= 1;
+        b >>= 1;
+    }
+    std::reverse(downs.begin(), downs.end());
+    ups.insert(ups.end(), downs.begin(), downs.end());
+    return ups;
+}
+
+} // namespace baseline
+} // namespace rmb

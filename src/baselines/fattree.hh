@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fat-tree baseline (Leiserson, paper reference [6]).
+ *
+ * A complete binary tree over N = 2^m leaf processors.  Each tree
+ * edge is a pair of directed channels (up and down); the channel
+ * capacity of an edge whose subtree holds s leaves is min(s, k),
+ * which for k = N is Leiserson's doubling fat tree and for k < N is
+ * the k-permutation-capable tree of the paper's Figure 11.  Routing
+ * climbs to the lowest common ancestor and descends.
+ */
+
+#ifndef RMB_BASELINES_FATTREE_HH
+#define RMB_BASELINES_FATTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/circuit_network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** Fat tree over N = 2^m processors with capacity cap k. */
+class FatTreeNetwork : public CircuitNetwork
+{
+  public:
+    FatTreeNetwork(sim::Simulator &simulator, net::NodeId num_nodes,
+                   std::uint32_t capacity_cap,
+                   const CircuitConfig &config);
+
+    std::uint32_t capacityCap() const { return capacityCap_; }
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    /** Heap index of processor @p p's leaf. */
+    std::uint32_t leafOf(net::NodeId p) const;
+
+    std::uint32_t capacityCap_;
+    /** Up/down channel per non-root heap node v (1-indexed heap). */
+    std::vector<LinkId> up_;
+    std::vector<LinkId> down_;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_FATTREE_HH

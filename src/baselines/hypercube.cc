@@ -1,0 +1,63 @@
+#include "baselines/hypercube.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+namespace {
+
+/** Validate before the base class constructs (user error => fatal). */
+std::uint32_t
+nodesForDimension(std::uint32_t dimensions)
+{
+    if (dimensions < 1 || dimensions > 20)
+        fatal("hypercube dimension must be in [1, 20], got ",
+              dimensions);
+    return 1u << dimensions;
+}
+
+} // namespace
+
+HypercubeNetwork::HypercubeNetwork(sim::Simulator &simulator,
+                                   std::uint32_t dimensions,
+                                   const CircuitConfig &config,
+                                   bool enhanced)
+    : CircuitNetwork(simulator, enhanced ? "EHC" : "Hypercube",
+                     nodesForDimension(dimensions), config),
+      dimensions_(dimensions), enhanced_(enhanced)
+{
+    const std::uint32_t n = 1u << dimensions_;
+    links_.resize(static_cast<std::size_t>(n) * dimensions_);
+    for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t b = 0; b < dimensions_; ++b) {
+            // The EHC duplicates the pair of links in one dimension;
+            // we pick dimension 0.
+            const std::uint32_t cap =
+                (enhanced_ && b == 0) ? 2 : 1;
+            links_[static_cast<std::size_t>(u) * dimensions_ + b] =
+                addLink(cap);
+        }
+    }
+}
+
+std::vector<LinkId>
+HypercubeNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    // e-cube: correct differing address bits from LSB to MSB.
+    std::vector<LinkId> path;
+    std::uint32_t cur = src;
+    for (std::uint32_t b = 0; b < dimensions_; ++b) {
+        if (((cur ^ dst) >> b) & 1u) {
+            path.push_back(
+                links_[static_cast<std::size_t>(cur) * dimensions_ +
+                       b]);
+            cur ^= 1u << b;
+        }
+    }
+    rmb_assert(cur == dst, "e-cube routing failed");
+    return path;
+}
+
+} // namespace baseline
+} // namespace rmb

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary hypercube and Enhanced Hypercube (EHC) baselines.
+ *
+ * The hypercube routes with e-cube (dimension-order) routing; the
+ * EHC (Choi & Somani, paper reference [4]) duplicates the links of
+ * one dimension, which we model as capacity-2 channels in dimension
+ * 0.
+ */
+
+#ifndef RMB_BASELINES_HYPERCUBE_HH
+#define RMB_BASELINES_HYPERCUBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/circuit_network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** N = 2^dimensions nodes; optionally enhanced (EHC). */
+class HypercubeNetwork : public CircuitNetwork
+{
+  public:
+    HypercubeNetwork(sim::Simulator &simulator,
+                     std::uint32_t dimensions,
+                     const CircuitConfig &config,
+                     bool enhanced = false);
+
+    std::uint32_t dimensions() const { return dimensions_; }
+    bool enhanced() const { return enhanced_; }
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    std::uint32_t dimensions_;
+    bool enhanced_;
+    /** link id of node u's dimension-b link: links_[u*dim + b]. */
+    std::vector<LinkId> links_;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_HYPERCUBE_HH

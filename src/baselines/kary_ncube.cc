@@ -1,0 +1,107 @@
+#include "baselines/kary_ncube.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+namespace {
+
+std::uint32_t
+power(std::uint32_t base, std::uint32_t exp)
+{
+    std::uint64_t v = 1;
+    for (std::uint32_t i = 0; i < exp; ++i) {
+        v *= base;
+        if (v > (1u << 24))
+            fatal("k-ary n-cube too large: ", base, "^", exp);
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint32_t
+validatedNodes(std::uint32_t radix, std::uint32_t dimensions)
+{
+    if (radix < 2)
+        fatal("k-ary n-cube needs radix >= 2, got ", radix);
+    if (dimensions < 1)
+        fatal("k-ary n-cube needs >= 1 dimension");
+    return power(radix, dimensions);
+}
+
+} // namespace
+
+KaryNcubeNetwork::KaryNcubeNetwork(sim::Simulator &simulator,
+                                   std::uint32_t radix,
+                                   std::uint32_t dimensions,
+                                   const CircuitConfig &config,
+                                   std::uint32_t channels)
+    : CircuitNetwork(simulator,
+                     std::to_string(radix) + "-ary " +
+                         std::to_string(dimensions) + "-cube",
+                     validatedNodes(radix, dimensions), config),
+      radix_(radix), dimensions_(dimensions)
+{
+    stride_.resize(dimensions_);
+    for (std::uint32_t d = 0; d < dimensions_; ++d)
+        stride_[d] = power(radix_, d);
+
+    const std::uint32_t n = numNodes();
+    links_.resize(static_cast<std::size_t>(n) * dimensions_ * 2);
+    for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t d = 0; d < dimensions_; ++d) {
+            for (const bool plus : {false, true}) {
+                links_[(static_cast<std::size_t>(u) * dimensions_ +
+                        d) * 2 +
+                       (plus ? 1 : 0)] = addLink(channels);
+            }
+        }
+    }
+}
+
+std::uint32_t
+KaryNcubeNetwork::digit(net::NodeId u, std::uint32_t d) const
+{
+    return (u / stride_[d]) % radix_;
+}
+
+LinkId
+KaryNcubeNetwork::linkFrom(net::NodeId u, std::uint32_t d,
+                           bool plus) const
+{
+    return links_[(static_cast<std::size_t>(u) * dimensions_ + d) *
+                      2 +
+                  (plus ? 1 : 0)];
+}
+
+std::vector<LinkId>
+KaryNcubeNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    std::vector<LinkId> path;
+    net::NodeId cur = src;
+    for (std::uint32_t d = 0; d < dimensions_; ++d) {
+        const std::uint32_t from = digit(cur, d);
+        const std::uint32_t to = digit(dst, d);
+        if (from == to)
+            continue;
+        // Shorter way around this dimension's ring; ties go +.
+        const std::uint32_t fwd = (to + radix_ - from) % radix_;
+        const std::uint32_t bwd = radix_ - fwd;
+        const bool plus = fwd <= bwd;
+        std::uint32_t steps = plus ? fwd : bwd;
+        while (steps--) {
+            path.push_back(linkFrom(cur, d, plus));
+            const std::uint32_t cur_digit = digit(cur, d);
+            const std::uint32_t next_digit =
+                plus ? (cur_digit + 1) % radix_
+                     : (cur_digit + radix_ - 1) % radix_;
+            cur = cur - cur_digit * stride_[d] +
+                  next_digit * stride_[d];
+        }
+    }
+    rmb_assert(cur == dst, "dimension-order routing failed");
+    return path;
+}
+
+} // namespace baseline
+} // namespace rmb

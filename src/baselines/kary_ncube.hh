@@ -1,0 +1,61 @@
+/**
+ * @file
+ * k-ary n-cube baseline.
+ *
+ * The paper's concluding remarks name "comparison with other
+ * universal interconnection networks such as the k-ary n cube
+ * network" as future research; this implements it.  Nodes form an
+ * n-dimensional torus with radix r per dimension (N = r^n);
+ * channels are bidirectional (one directed link each way) and
+ * routing is dimension-ordered, taking the shorter way around each
+ * dimension's ring.  The binary hypercube is the r = 2 special
+ * case; the single ring is n = 1.
+ */
+
+#ifndef RMB_BASELINES_KARY_NCUBE_HH
+#define RMB_BASELINES_KARY_NCUBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/circuit_network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** radix^dimensions nodes, dimension-order routed. */
+class KaryNcubeNetwork : public CircuitNetwork
+{
+  public:
+    KaryNcubeNetwork(sim::Simulator &simulator, std::uint32_t radix,
+                     std::uint32_t dimensions,
+                     const CircuitConfig &config,
+                     std::uint32_t channels = 1);
+
+    std::uint32_t radix() const { return radix_; }
+    std::uint32_t dimensions() const { return dimensions_; }
+
+    /** Digit @p d of node @p u in base radix. */
+    std::uint32_t digit(net::NodeId u, std::uint32_t d) const;
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    /** Directed link from @p u along dimension @p d, direction
+     *  @p plus (true = +1 mod radix). */
+    LinkId linkFrom(net::NodeId u, std::uint32_t d, bool plus) const;
+
+    std::uint32_t radix_;
+    std::uint32_t dimensions_;
+    /** links_[(u * dims + d) * 2 + (plus ? 1 : 0)] */
+    std::vector<LinkId> links_;
+    /** Per-dimension stride: radix^d. */
+    std::vector<std::uint32_t> stride_;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_KARY_NCUBE_HH

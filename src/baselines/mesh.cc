@@ -1,0 +1,74 @@
+#include "baselines/mesh.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+MeshNetwork::MeshNetwork(sim::Simulator &simulator,
+                         std::uint32_t width, std::uint32_t height,
+                         const CircuitConfig &config,
+                         std::uint32_t channels)
+    : CircuitNetwork(simulator, "Mesh", width * height, config),
+      width_(width), height_(height),
+      links_(static_cast<std::size_t>(width) * height,
+             {UINT32_MAX, UINT32_MAX, UINT32_MAX, UINT32_MAX})
+{
+    if (width < 2 || height < 1)
+        fatal("mesh needs width >= 2 and height >= 1");
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        for (std::uint32_t x = 0; x < width_; ++x) {
+            auto &l = links_[y * width_ + x];
+            if (x + 1 < width_)
+                l[East] = addLink(channels);
+            if (x > 0)
+                l[West] = addLink(channels);
+            if (y + 1 < height_)
+                l[North] = addLink(channels);
+            if (y > 0)
+                l[South] = addLink(channels);
+        }
+    }
+}
+
+LinkId
+MeshNetwork::linkTo(std::uint32_t x, std::uint32_t y, Dir d) const
+{
+    const LinkId id = links_[y * width_ + x][d];
+    rmb_assert(id != UINT32_MAX, "no link in direction ", int{d},
+               " from (", x, ",", y, ")");
+    return id;
+}
+
+std::vector<LinkId>
+MeshNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    std::uint32_t x = src % width_;
+    std::uint32_t y = src / width_;
+    const std::uint32_t dx = dst % width_;
+    const std::uint32_t dy = dst / width_;
+    std::vector<LinkId> path;
+    // XY dimension-order routing: correct x first, then y.
+    while (x != dx) {
+        if (x < dx) {
+            path.push_back(linkTo(x, y, East));
+            ++x;
+        } else {
+            path.push_back(linkTo(x, y, West));
+            --x;
+        }
+    }
+    while (y != dy) {
+        if (y < dy) {
+            path.push_back(linkTo(x, y, North));
+            ++y;
+        } else {
+            path.push_back(linkTo(x, y, South));
+            --y;
+        }
+    }
+    return path;
+}
+
+} // namespace baseline
+} // namespace rmb

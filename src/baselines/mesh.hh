@@ -1,0 +1,52 @@
+/**
+ * @file
+ * 2-D mesh baseline (paper section 3.1): degree-4 nodes, XY
+ * dimension-order routing, circuit switched.
+ */
+
+#ifndef RMB_BASELINES_MESH_HH
+#define RMB_BASELINES_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/circuit_network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** Non-toroidal W x H mesh; node (x, y) has id y*W + x. */
+class MeshNetwork : public CircuitNetwork
+{
+  public:
+    /**
+     * @param channels parallel channels per mesh link (the paper's
+     *        sqrt(k)-expanded mesh uses > 1 to embed k-permutations).
+     */
+    MeshNetwork(sim::Simulator &simulator, std::uint32_t width,
+                std::uint32_t height, const CircuitConfig &config,
+                std::uint32_t channels = 1);
+
+    std::uint32_t width() const { return width_; }
+    std::uint32_t height() const { return height_; }
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    enum Dir { East, West, North, South };
+
+    LinkId linkTo(std::uint32_t x, std::uint32_t y, Dir d) const;
+
+    std::uint32_t width_;
+    std::uint32_t height_;
+    /** link id per (node, direction); UINT32_MAX where absent. */
+    std::vector<std::array<LinkId, 4>> links_;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_MESH_HH

@@ -1,0 +1,55 @@
+#include "baselines/multibus.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+MultiBusNetwork::MultiBusNetwork(sim::Simulator &simulator,
+                                 net::NodeId num_nodes,
+                                 std::uint32_t num_buses,
+                                 const CircuitConfig &config)
+    : CircuitNetwork(simulator, "MultiBus", num_nodes, config),
+      numBuses_(num_buses)
+{
+    if (num_buses < 1)
+        fatal("multibus needs at least one bus");
+    medium_ = addLink(num_buses);
+}
+
+std::vector<LinkId>
+MultiBusNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    (void)src;
+    (void)dst;
+    // Any free global bus carries the whole message in one hop.
+    return {medium_};
+}
+
+IdealRingNetwork::IdealRingNetwork(sim::Simulator &simulator,
+                                   net::NodeId num_nodes,
+                                   std::uint32_t num_buses,
+                                   const CircuitConfig &config)
+    : CircuitNetwork(simulator, "IdealRing", num_nodes, config),
+      numBuses_(num_buses)
+{
+    if (num_buses < 1)
+        fatal("ring needs at least one channel per gap");
+    gaps_.reserve(num_nodes);
+    for (net::NodeId g = 0; g < num_nodes; ++g)
+        gaps_.push_back(addLink(num_buses));
+}
+
+std::vector<LinkId>
+IdealRingNetwork::route(net::NodeId src, net::NodeId dst) const
+{
+    std::vector<LinkId> path;
+    for (net::NodeId g = src; g != dst;
+         g = (g + 1) % numNodes()) {
+        path.push_back(gaps_[g]);
+    }
+    return path;
+}
+
+} // namespace baseline
+} // namespace rmb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Conventional (non-reconfigurable) multiple-bus baseline, after
+ * Mudge, Hayes & Winsor (paper reference [5]).
+ *
+ * k global buses connect all N nodes; a message must win one entire
+ * bus for its whole circuit lifetime.  Contention is resolved by
+ * randomized retry (the same backoff discipline the other networks
+ * use).  Contrast with the RMB, whose reconfiguration lets many
+ * virtual buses share the k physical buses *spatially* along the
+ * ring - the paper's closing remark that "an RMB with k buses should
+ * not be considered equivalent of a k bus system".
+ */
+
+#ifndef RMB_BASELINES_MULTIBUS_HH
+#define RMB_BASELINES_MULTIBUS_HH
+
+#include "baselines/circuit_network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** k shared global buses modelled as one capacity-k medium. */
+class MultiBusNetwork : public CircuitNetwork
+{
+  public:
+    MultiBusNetwork(sim::Simulator &simulator, net::NodeId num_nodes,
+                    std::uint32_t num_buses,
+                    const CircuitConfig &config);
+
+    std::uint32_t numBuses() const { return numBuses_; }
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    std::uint32_t numBuses_;
+    LinkId medium_;
+};
+
+/**
+ * Ideal k-channel ring: the same geometry as the RMB (k parallel
+ * links per inter-node gap, clockwise routing) but with free channel
+ * assignment per gap - no top-bus injection rule, no +-1 switching
+ * constraint, no compaction needed.  Separates the cost of the RMB's
+ * restricted (3-way) switches from the ring topology itself.
+ */
+class IdealRingNetwork : public CircuitNetwork
+{
+  public:
+    IdealRingNetwork(sim::Simulator &simulator, net::NodeId num_nodes,
+                     std::uint32_t num_buses,
+                     const CircuitConfig &config);
+
+    std::uint32_t numBuses() const { return numBuses_; }
+
+  protected:
+    std::vector<LinkId> route(net::NodeId src,
+                              net::NodeId dst) const override;
+
+  private:
+    std::uint32_t numBuses_;
+    std::vector<LinkId> gaps_;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_MULTIBUS_HH

@@ -1,0 +1,210 @@
+#include "baselines/wormhole_ring.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace baseline {
+
+WormholeRingNetwork::WormholeRingNetwork(
+    sim::Simulator &simulator, net::NodeId num_nodes,
+    const WormholeConfig &config)
+    : net::Network(simulator, "WormholeRing", num_nodes),
+      config_(config), nodes_(num_nodes),
+      linkFreeAt_(num_nodes, 0), linkScheduled_(num_nodes, false),
+      rrNext_(num_nodes, 0)
+{
+    if (config_.vcsPerClass < 1)
+        fatal("wormhole ring needs >= 1 virtual channel per class");
+    if (config_.headerHopDelay < 1 || config_.flitDelay < 1)
+        fatal("hop delays must be >= 1 tick");
+    vcs_.assign(num_nodes,
+                std::vector<Vc>(2 * config_.vcsPerClass));
+}
+
+net::MessageId
+WormholeRingNetwork::send(net::NodeId src, net::NodeId dst,
+                          std::uint32_t payload_flits)
+{
+    net::Message &m = createMessage(src, dst, payload_flits);
+    Worm worm;
+    worm.src = src;
+    worm.dst = dst;
+    worm.totalFlits = payload_flits + 2; // head + payload + tail
+    worms_[m.id] = worm;
+    nodes_[src].sendQueue.push_back(m.id);
+    const net::NodeId gap = gapAfter(src);
+    simulator().schedule(0, [this, gap] { kickLink(gap); });
+    return m.id;
+}
+
+std::uint32_t
+WormholeRingNetwork::classAt(const Worm &worm,
+                             net::NodeId gap) const
+{
+    // The dateline sits between node N-1 and node 0: a message that
+    // has wrapped (gap index below its source) switches to class 1.
+    return gap < worm.src ? 1 : 0;
+}
+
+std::uint32_t
+WormholeRingNetwork::allocateVc(net::NodeId gap,
+                                net::MessageId msg)
+{
+    Worm &worm = worms_.at(msg);
+    const std::uint32_t cls = classAt(worm, gap);
+    const std::uint32_t base = cls * config_.vcsPerClass;
+    for (std::uint32_t v = base; v < base + config_.vcsPerClass;
+         ++v) {
+        if (vcs_[gap][v].owner == net::kNoMessage) {
+            vcs_[gap][v].owner = msg;
+            worm.vcAt[gap] = v;
+            return v;
+        }
+    }
+    return kNoVc;
+}
+
+void
+WormholeRingNetwork::kickLink(net::NodeId gap)
+{
+    if (linkScheduled_[gap])
+        return;
+    linkScheduled_[gap] = true;
+    const sim::Tick now = simulator().now();
+    const sim::Tick when =
+        linkFreeAt_[gap] > now ? linkFreeAt_[gap] : now;
+    simulator().scheduleAt(when, [this, gap] { linkStep(gap); });
+}
+
+void
+WormholeRingNetwork::linkStep(net::NodeId gap)
+{
+    linkScheduled_[gap] = false;
+    const sim::Tick now = simulator().now();
+    if (now < linkFreeAt_[gap]) {
+        kickLink(gap);
+        return;
+    }
+
+    // Allocation pass: heads wanting to enter this gap.
+    //  (1) the front of the local source queue,
+    if (!nodes_[gap].sendQueue.empty()) {
+        const net::MessageId mid = nodes_[gap].sendQueue.front();
+        Worm &worm = worms_.at(mid);
+        if (worm.injected == 0 && !worm.vcAt.count(gap))
+            (void)allocateVc(gap, mid);
+    }
+    //  (2) a head flit buffered at this node (upstream gap's slot).
+    const net::NodeId pg =
+        (gap + numNodes() - 1) % numNodes();
+    for (const Vc &up : vcs_[pg]) {
+        if (up.owner == net::kNoMessage || !up.slotFull ||
+            !up.slotIsHead) {
+            continue;
+        }
+        Worm &worm = worms_.at(up.owner);
+        if (worm.dst == gap) // consumed on arrival, never buffered
+            continue;
+        if (!worm.vcAt.count(gap))
+            (void)allocateVc(gap, up.owner);
+    }
+
+    // Transfer pass: round-robin over the VCs.
+    const std::uint32_t total_vcs = totalVcsPerGap();
+    for (std::uint32_t i = 0; i < total_vcs; ++i) {
+        const std::uint32_t v =
+            (rrNext_[gap] + i) % total_vcs;
+        Vc &vc = vcs_[gap][v];
+        if (vc.owner == net::kNoMessage || vc.slotFull)
+            continue;
+        const net::MessageId mid = vc.owner;
+        Worm &worm = worms_.at(mid);
+
+        std::uint32_t seq;
+        if (gap == gapAfter(worm.src)) {
+            // Injection from the source.
+            if (worm.injected >= worm.totalFlits)
+                continue;
+            seq = worm.injected;
+            ++worm.injected;
+            net::Message &m = messageRef(mid);
+            if (seq == 0 &&
+                m.state == net::MessageState::Queued) {
+                noteFirstAttempt(m);
+                noteCircuit(+1);
+            }
+            if (seq + 1 == worm.totalFlits) {
+                rmb_assert(nodes_[worm.src].sendQueue.front() ==
+                               mid,
+                           "source queue out of order");
+                nodes_[worm.src].sendQueue.pop_front();
+            }
+        } else {
+            // Pull the flit out of the upstream slot.
+            auto it = worm.vcAt.find(pg);
+            if (it == worm.vcAt.end())
+                continue;
+            Vc &up = vcs_[pg][it->second];
+            if (!up.slotFull)
+                continue;
+            seq = up.slotSeq;
+            up.slotFull = false;
+            if (up.slotIsTail) {
+                up.owner = net::kNoMessage;
+                worm.vcAt.erase(pg);
+            }
+            kickLink(pg); // the upstream slot can refill now
+        }
+
+        const sim::Tick dur = seq == 0 ? config_.headerHopDelay
+                                       : config_.flitDelay;
+        linkFreeAt_[gap] = now + dur;
+        rrNext_[gap] = v + 1;
+        simulator().schedule(dur, [this, gap, v, mid, seq] {
+            Vc &arrived = vcs_[gap][v];
+            rmb_assert(arrived.owner == mid,
+                       "VC ownership changed mid-transfer");
+            Worm &w = worms_.at(mid);
+            const net::NodeId next_node =
+                (gap + 1) % numNodes();
+            if (next_node == w.dst) {
+                consumeAtDestination(gap, v);
+                return;
+            }
+            arrived.slotFull = true;
+            arrived.slotSeq = seq;
+            arrived.slotIsHead = seq == 0;
+            arrived.slotIsTail = seq + 1 == w.totalFlits;
+            kickLink(next_node); // downstream may pull it onward
+        });
+        kickLink(gap); // serialize the next transfer
+        return;
+    }
+    // No transfer possible; future kicks re-arm the link.
+}
+
+void
+WormholeRingNetwork::consumeAtDestination(net::NodeId gap,
+                                          std::uint32_t v)
+{
+    Vc &vc = vcs_[gap][v];
+    const net::MessageId mid = vc.owner;
+    Worm &worm = worms_.at(mid);
+    const std::uint32_t seq = worm.consumed;
+    ++worm.consumed;
+    net::Message &m = messageRef(mid);
+    if (seq == 0)
+        noteEstablished(m);
+    if (seq + 1 == worm.totalFlits) {
+        vc.owner = net::kNoMessage;
+        worm.vcAt.erase(gap);
+        noteCircuit(-1);
+        noteDelivered(
+            m, (worm.dst + numNodes() - worm.src) % numNodes());
+        worms_.erase(mid);
+        kickLink(gap); // the freed VC may unblock a waiting head
+    }
+}
+
+} // namespace baseline
+} // namespace rmb

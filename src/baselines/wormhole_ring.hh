@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Buffered wormhole ring baseline (Dally, the paper's reference
+ * [10]).
+ *
+ * The RMB borrows wormhole's flit decomposition but switches
+ * *circuits*: data only flows after the Hack and nothing is
+ * buffered mid-route.  This baseline implements the alternative the
+ * paper defines itself against - classical wormhole on the same
+ * one-way ring: the header advances hop by hop without waiting for
+ * an acknowledgement, every node buffers one flit per virtual
+ * channel, and blocked messages hold buffers (not whole paths).
+ * Deadlock freedom on the ring cycle comes from Dally & Seitz's
+ * dateline rule: messages allocate class-0 virtual channels until
+ * they cross the dateline gap (N-1 -> 0), class-1 after.
+ *
+ * Head flits spend headerHopDelay per hop (routing decision), body
+ * flits flitDelay; each gap's physical link transfers one flit per
+ * slot, round-robin over its virtual channels.
+ */
+
+#ifndef RMB_BASELINES_WORMHOLE_RING_HH
+#define RMB_BASELINES_WORMHOLE_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/network.hh"
+
+namespace rmb {
+namespace baseline {
+
+/** Timing/geometry of the wormhole ring. */
+struct WormholeConfig
+{
+    sim::Tick headerHopDelay = 4; //!< head-flit transfer per gap
+    sim::Tick flitDelay = 1;      //!< body/tail transfer per gap
+    /** Virtual channels per dateline class (total VCs = 2x). */
+    std::uint32_t vcsPerClass = 1;
+};
+
+/** One-way wormhole ring with dateline virtual channels. */
+class WormholeRingNetwork : public net::Network
+{
+  public:
+    WormholeRingNetwork(sim::Simulator &simulator,
+                        net::NodeId num_nodes,
+                        const WormholeConfig &config);
+
+    net::MessageId send(net::NodeId src, net::NodeId dst,
+                        std::uint32_t payload_flits) override;
+
+    std::uint32_t
+    totalVcsPerGap() const
+    {
+        return 2 * config_.vcsPerClass;
+    }
+
+  private:
+    /** One virtual channel of one gap. */
+    struct Vc
+    {
+        net::MessageId owner = net::kNoMessage;
+        /** The one-flit buffer at the downstream node. */
+        bool slotFull = false;
+        std::uint32_t slotSeq = 0;
+        bool slotIsHead = false;
+        bool slotIsTail = false;
+    };
+
+    /** Per-message progress. */
+    struct Worm
+    {
+        net::NodeId src = 0;
+        net::NodeId dst = 0;
+        std::uint32_t totalFlits = 0;  //!< head + payload + tail
+        std::uint32_t injected = 0;    //!< flits that left the source
+        std::uint32_t consumed = 0;    //!< flits eaten at the dst
+        /** VC index per gap while owned (gap -> vc). */
+        std::unordered_map<net::NodeId, std::uint32_t> vcAt;
+    };
+
+    struct Node
+    {
+        std::deque<net::MessageId> sendQueue;
+    };
+
+    /** Gap a message's flit enters after node @p at. */
+    net::NodeId
+    gapAfter(net::NodeId at) const
+    {
+        return at;
+    }
+
+    /** Dateline class of a message when entering @p gap. */
+    std::uint32_t classAt(const Worm &worm, net::NodeId gap) const;
+
+    /** Try to allocate a VC at @p gap for @p msg; kNoVc if full. */
+    std::uint32_t allocateVc(net::NodeId gap, net::MessageId msg);
+
+    /** Attempt one transfer on @p gap's physical link. */
+    void linkStep(net::NodeId gap);
+
+    /** Schedule a link step if idle and work may be pending. */
+    void kickLink(net::NodeId gap);
+
+    /** After a slot empties upstream, push the worm onward. */
+    void kickDownstream(net::NodeId gap);
+
+    void consumeAtDestination(net::NodeId gap, std::uint32_t vc);
+
+    WormholeConfig config_;
+    std::vector<std::vector<Vc>> vcs_; //!< [gap][vc]
+    std::vector<Node> nodes_;
+    std::unordered_map<net::MessageId, Worm> worms_;
+    /** Link serialization: next free tick per gap. */
+    std::vector<sim::Tick> linkFreeAt_;
+    std::vector<bool> linkScheduled_;
+    /** Round-robin pointer per gap. */
+    std::vector<std::uint32_t> rrNext_;
+
+    static constexpr std::uint32_t kNoVc = UINT32_MAX;
+};
+
+} // namespace baseline
+} // namespace rmb
+
+#endif // RMB_BASELINES_WORMHOLE_RING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer/bit helpers used across the RMB codebase.
+ */
+
+#ifndef RMB_COMMON_BITUTILS_HH
+#define RMB_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace rmb {
+
+/** @return true iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be non-zero. */
+constexpr std::uint32_t
+log2Floor(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** @return ceil(log2(v)); @p v must be non-zero. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t v)
+{
+    return log2Floor(v) + (isPowerOfTwo(v) ? 0 : 1);
+}
+
+/**
+ * Reverse the low @p bits bits of @p v (used by the bit-reversal
+ * permutation workload).
+ */
+constexpr std::uint64_t
+bitReverse(std::uint64_t v, std::uint32_t bits)
+{
+    std::uint64_t r = 0;
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace rmb
+
+#endif // RMB_COMMON_BITUTILS_HH

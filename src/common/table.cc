@@ -1,0 +1,86 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmb {
+
+TextTable::TextTable(std::string caption,
+                     std::vector<std::string> headers)
+    : caption_(std::move(caption)), headers_(std::move(headers))
+{
+    rmb_assert(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rmb_assert(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&os, &width]() {
+        os << '+';
+        for (std::size_t w : width)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&os, &width](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << ' ' << std::setw(static_cast<int>(width[c]))
+               << cells[c] << " |";
+        os << '\n';
+    };
+
+    os << "# " << caption_ << '\n';
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    os << "# " << caption_ << '\n';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 < row.size() ? "," : "\n");
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+} // namespace rmb

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table formatter.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * they all print through this class so output is uniform and easy to
+ * diff or grep.  Also supports CSV emission for plotting.
+ */
+
+#ifndef RMB_COMMON_TABLE_HH
+#define RMB_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmb {
+
+/**
+ * A right-aligned monospace table with a caption, assembled row by row
+ * and rendered to any ostream.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given caption and column headers. */
+    TextTable(std::string caption, std::vector<std::string> headers);
+
+    /** Append one row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with box-drawing separators to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (caption emitted as a comment line). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Format helpers for numeric cells. */
+    static std::string num(std::uint64_t v);
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::string caption_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rmb
+
+#endif // RMB_COMMON_TABLE_HH

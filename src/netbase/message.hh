@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Message bookkeeping shared by the RMB network and all baselines.
+ *
+ * A message models the paper's unit of communication: a header flit
+ * (HF), a payload of data flits (DF) and a final flit (FF).  The
+ * structure records every timestamp the benches report on.
+ */
+
+#ifndef RMB_NETBASE_MESSAGE_HH
+#define RMB_NETBASE_MESSAGE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace rmb {
+namespace net {
+
+/** Index of a node (PE + network controller) in [0, N). */
+using NodeId = std::uint32_t;
+
+/** Unique id of one message within one network instance. */
+using MessageId = std::uint64_t;
+
+/** Sentinel id for "no message". */
+constexpr MessageId kNoMessage = 0;
+
+/** Lifecycle of a message. */
+enum class MessageState : std::uint8_t
+{
+    Queued,     //!< created, waiting to inject (source busy/backoff)
+    Setup,      //!< header in flight, circuit being established
+    Streaming,  //!< Hack received, data flits flowing
+    Delivered,  //!< final flit accepted at the destination
+    Failed,     //!< permanently failed (only if retries are bounded)
+};
+
+/** One point-to-point message and its lifetime timestamps. */
+struct Message
+{
+    MessageId id = kNoMessage;
+    NodeId src = 0;
+    NodeId dst = 0;
+    /** Number of data flits between HF and FF. */
+    std::uint32_t payloadFlits = 0;
+
+    MessageState state = MessageState::Queued;
+
+    sim::Tick created = 0;        //!< enqueued at the source PE
+    sim::Tick firstAttempt = 0;   //!< first HF injection
+    sim::Tick established = 0;    //!< Hack received at the source
+    sim::Tick delivered = 0;      //!< FF accepted at the destination
+
+    /** Number of Nacks (destination busy) this message absorbed. */
+    std::uint32_t nacks = 0;
+    /** Number of re-injections after Nack or local blocking. */
+    std::uint32_t retries = 0;
+
+    /** Ticks from creation to delivery. */
+    sim::Tick
+    totalLatency() const
+    {
+        return delivered - created;
+    }
+
+    /** Ticks from first injection to circuit establishment. */
+    sim::Tick
+    setupLatency() const
+    {
+        return established - firstAttempt;
+    }
+};
+
+} // namespace net
+} // namespace rmb
+
+#endif // RMB_NETBASE_MESSAGE_HH

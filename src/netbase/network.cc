@@ -1,0 +1,112 @@
+#include "netbase/network.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace net {
+
+Network::Network(sim::Simulator &simulator, std::string name,
+                 NodeId num_nodes)
+    : simulator_(simulator), name_(std::move(name)),
+      numNodes_(num_nodes)
+{
+    rmb_assert(numNodes_ >= 2, "a network needs at least two nodes");
+}
+
+Message &
+Network::createMessage(NodeId src, NodeId dst,
+                       std::uint32_t payload_flits)
+{
+    rmb_assert(src < numNodes_ && dst < numNodes_,
+               "node id out of range: src=", src, " dst=", dst,
+               " N=", numNodes_);
+    rmb_assert(src != dst, "self-messages are not supported");
+    Message m;
+    // Ids are 1-based so kNoMessage (0) stays free.
+    m.id = messages_.size() + 1;
+    m.src = src;
+    m.dst = dst;
+    m.payloadFlits = payload_flits;
+    m.created = simulator_.now();
+    messages_.push_back(m);
+    ++stats_.injected;
+    return messages_.back();
+}
+
+const Message &
+Network::message(MessageId id) const
+{
+    rmb_assert(id != kNoMessage && id <= messages_.size(),
+               "unknown message id ", id);
+    return messages_[id - 1];
+}
+
+Message &
+Network::messageRef(MessageId id)
+{
+    rmb_assert(id != kNoMessage && id <= messages_.size(),
+               "unknown message id ", id);
+    return messages_[id - 1];
+}
+
+void
+Network::noteFirstAttempt(Message &m)
+{
+    m.firstAttempt = simulator_.now();
+    m.state = MessageState::Setup;
+    stats_.queueDelay.add(
+        static_cast<double>(m.firstAttempt - m.created));
+}
+
+void
+Network::noteEstablished(Message &m)
+{
+    m.established = simulator_.now();
+    m.state = MessageState::Streaming;
+    stats_.setupLatency.add(
+        static_cast<double>(m.established - m.firstAttempt));
+}
+
+void
+Network::noteNack(Message &m)
+{
+    ++m.nacks;
+    ++stats_.nacks;
+}
+
+void
+Network::noteRetry(Message &m)
+{
+    ++m.retries;
+    ++stats_.retries;
+}
+
+void
+Network::noteDelivered(Message &m, std::uint32_t path_hops)
+{
+    m.delivered = simulator_.now();
+    m.state = MessageState::Delivered;
+    ++stats_.delivered;
+    stats_.totalLatency.add(static_cast<double>(m.totalLatency()));
+    stats_.pathLength.add(static_cast<double>(path_hops));
+    if (deliveryCallback_)
+        deliveryCallback_(m);
+}
+
+void
+Network::noteFailed(Message &m)
+{
+    m.state = MessageState::Failed;
+    ++stats_.failed;
+    if (failureCallback_)
+        failureCallback_(m);
+}
+
+void
+Network::noteCircuit(std::int64_t delta)
+{
+    stats_.activeCircuits.adjust(simulator_.now(), delta);
+}
+
+} // namespace net
+} // namespace rmb

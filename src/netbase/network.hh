@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Abstract interconnection-network interface.
+ *
+ * The workload drivers and comparison benches run against this
+ * interface so the RMB and every baseline (mesh, hypercube, EHC,
+ * fat tree, arbitrated multibus) are measured by identical harness
+ * code.
+ */
+
+#ifndef RMB_NETBASE_NETWORK_HH
+#define RMB_NETBASE_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "netbase/message.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace rmb {
+namespace net {
+
+/** Aggregate statistics every network implementation maintains. */
+struct NetworkStats
+{
+    std::uint64_t injected = 0;    //!< messages handed to send()
+    std::uint64_t delivered = 0;   //!< messages fully delivered
+    std::uint64_t failed = 0;      //!< gave up (bounded retries)
+    std::uint64_t nacks = 0;       //!< destination-busy refusals
+    std::uint64_t retries = 0;     //!< re-injections
+
+    sim::SampleStat queueDelay;    //!< created -> first injection
+    sim::SampleStat setupLatency;  //!< injection -> established
+    sim::SampleStat totalLatency;  //!< created -> delivered
+    sim::SampleStat pathLength;    //!< hops traversed
+
+    /** Concurrently open circuits (virtual buses). */
+    sim::LevelTracker activeCircuits;
+};
+
+/**
+ * Base class for circuit-switched networks simulated on the shared
+ * DES kernel.  Handles message registry, statistics and delivery
+ * callbacks; subclasses implement the actual switching fabric.
+ */
+class Network
+{
+  public:
+    using DeliveryCallback = std::function<void(const Message &)>;
+
+    Network(sim::Simulator &simulator, std::string name,
+            NodeId num_nodes);
+    virtual ~Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Human-readable architecture name (used in bench tables). */
+    const std::string &name() const { return name_; }
+
+    /** Number of processing nodes. */
+    NodeId numNodes() const { return numNodes_; }
+
+    /**
+     * Enqueue a message of @p payload_flits data flits from @p src to
+     * @p dst.  The network injects it as soon as the source's
+     * injection rules allow.  @p src must differ from @p dst.
+     * @return the id used to query the message later.
+     */
+    virtual MessageId send(NodeId src, NodeId dst,
+                           std::uint32_t payload_flits) = 0;
+
+    /** Look up a message by id. */
+    const Message &message(MessageId id) const;
+
+    /** Total messages ever created (ids run 1..numMessages()). */
+    std::uint64_t numMessages() const { return messages_.size(); }
+
+    /** @return true once every sent message was delivered or has
+     *  permanently failed. */
+    bool
+    quiescent() const
+    {
+        return stats_.delivered + stats_.failed == stats_.injected;
+    }
+
+    /** Aggregate statistics. */
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Invoked whenever a message is delivered. */
+    void
+    setDeliveryCallback(DeliveryCallback cb)
+    {
+        deliveryCallback_ = std::move(cb);
+    }
+
+    /** Invoked whenever a message permanently fails. */
+    void
+    setFailureCallback(DeliveryCallback cb)
+    {
+        failureCallback_ = std::move(cb);
+    }
+
+    sim::Simulator &simulator() { return simulator_; }
+    const sim::Simulator &simulator() const { return simulator_; }
+
+  protected:
+    /** Allocate and register a new message record. */
+    Message &createMessage(NodeId src, NodeId dst,
+                           std::uint32_t payload_flits);
+
+    /** Mutable access for subclasses driving the lifecycle. */
+    Message &messageRef(MessageId id);
+
+    /** Record the first injection attempt of @p m at time now. */
+    void noteFirstAttempt(Message &m);
+
+    /** Record circuit establishment (Hack at source). */
+    void noteEstablished(Message &m);
+
+    /** Record a destination-busy Nack. */
+    void noteNack(Message &m);
+
+    /** Record a re-injection. */
+    void noteRetry(Message &m);
+
+    /** Record delivery, update stats and fire the callback. */
+    void noteDelivered(Message &m, std::uint32_t path_hops);
+
+    /** Record permanent failure (bounded retries exhausted). */
+    void noteFailed(Message &m);
+
+    /** Track open-circuit count (+1 on open, -1 on close). */
+    void noteCircuit(std::int64_t delta);
+
+    NetworkStats stats_;
+
+  private:
+    sim::Simulator &simulator_;
+    std::string name_;
+    NodeId numNodes_;
+    std::deque<Message> messages_;
+    DeliveryCallback deliveryCallback_;
+    DeliveryCallback failureCallback_;
+};
+
+} // namespace net
+} // namespace rmb
+
+#endif // RMB_NETBASE_NETWORK_HH

@@ -1,0 +1,281 @@
+#include "offline/schedule.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rmb {
+namespace offline {
+
+namespace {
+
+std::uint32_t
+pathHops(net::NodeId n, net::NodeId src, net::NodeId dst)
+{
+    return (dst + n - src) % n;
+}
+
+} // namespace
+
+sim::Tick
+TimingModel::messageTime(std::uint32_t hops,
+                         std::uint32_t payload_flits) const
+{
+    // Delivery time plus the trailing Fack walk that releases the
+    // segments.
+    return deliveryTime(hops, payload_flits) +
+           static_cast<sim::Tick>(hops) * ackHopDelay;
+}
+
+sim::Tick
+TimingModel::deliveryTime(std::uint32_t hops,
+                          std::uint32_t payload_flits) const
+{
+    const auto h = static_cast<sim::Tick>(hops);
+    // Header walk + Hack walk + pipelined stream (payload + FF +
+    // drain).
+    return h * headerHopDelay + h * ackHopDelay +
+           (static_cast<sim::Tick>(payload_flits) + 1 + h) *
+               flitDelay;
+}
+
+std::uint32_t
+minRounds(net::NodeId n, const workload::PairList &pairs,
+          std::uint32_t k)
+{
+    rmb_assert(k >= 1, "k must be >= 1");
+    const std::uint32_t load = workload::maxRingLoad(n, pairs);
+    return static_cast<std::uint32_t>(
+        ceilDiv(load, k));
+}
+
+OfflineSchedule
+greedySchedule(net::NodeId n, const workload::PairList &pairs,
+               std::uint32_t k)
+{
+    rmb_assert(k >= 1, "k must be >= 1");
+    OfflineSchedule s;
+    s.round.assign(pairs.size(), 0);
+
+    // Longest-path-first order reduces fragmentation.
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto ha = pathHops(n, pairs[a].first,
+                                           pairs[a].second);
+                  const auto hb = pathHops(n, pairs[b].first,
+                                           pairs[b].second);
+                  if (ha != hb)
+                      return ha > hb;
+                  return a < b;
+              });
+
+    // usage[r][g] = arcs crossing gap g in round r.
+    std::vector<std::vector<std::uint32_t>> usage;
+    for (std::size_t idx : order) {
+        const auto [src, dst] = pairs[idx];
+        std::uint32_t r = 0;
+        for (;; ++r) {
+            if (r == usage.size())
+                usage.emplace_back(n, 0);
+            bool fits = true;
+            for (net::NodeId g = src; g != dst;
+                 g = (g + 1) % n) {
+                if (usage[r][g] >= k) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits)
+                break;
+        }
+        for (net::NodeId g = src; g != dst; g = (g + 1) % n)
+            ++usage[r][g];
+        s.round[idx] = r;
+    }
+    s.numRounds = static_cast<std::uint32_t>(usage.size());
+    return s;
+}
+
+namespace {
+
+/** Depth-first branch-and-bound for optimalRounds(). */
+class RoundSearch
+{
+  public:
+    RoundSearch(net::NodeId n, const workload::PairList &pairs,
+                std::uint32_t k, std::uint64_t budget)
+        : n_(n), pairs_(pairs), k_(k), budget_(budget)
+    {
+        // Longest-path-first ordering tightens the search.
+        order_.resize(pairs.size());
+        std::iota(order_.begin(), order_.end(), 0);
+        std::sort(order_.begin(), order_.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return hops(a) > hops(b);
+                  });
+    }
+
+    /** @return true if @p rounds suffice (within budget). */
+    bool
+    feasible(std::uint32_t rounds)
+    {
+        usage_.assign(rounds,
+                      std::vector<std::uint32_t>(n_, 0));
+        exhausted_ = false;
+        const bool ok = place(0, rounds);
+        return ok && !exhausted_;
+    }
+
+    bool budgetExhausted() const { return exhausted_; }
+
+  private:
+    std::uint32_t
+    hops(std::size_t i) const
+    {
+        return (pairs_[i].second + n_ - pairs_[i].first) % n_;
+    }
+
+    bool
+    fits(std::size_t i, std::uint32_t r) const
+    {
+        for (net::NodeId g = pairs_[i].first;
+             g != pairs_[i].second; g = (g + 1) % n_) {
+            if (usage_[r][g] >= k_)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    apply(std::size_t i, std::uint32_t r, std::int32_t delta)
+    {
+        for (net::NodeId g = pairs_[i].first;
+             g != pairs_[i].second; g = (g + 1) % n_) {
+            usage_[r][g] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(usage_[r][g]) + delta);
+        }
+    }
+
+    bool
+    place(std::size_t idx, std::uint32_t rounds)
+    {
+        if (idx == order_.size())
+            return true;
+        if (budget_-- == 0) {
+            exhausted_ = true;
+            return false;
+        }
+        const std::size_t arc = order_[idx];
+        // Symmetry breaking: the first arc goes to round 0; later
+        // arcs may only open one round beyond those already used.
+        const std::uint32_t limit =
+            idx == 0 ? 1
+                     : std::min<std::uint32_t>(
+                           rounds, maxUsedRound_ + 2);
+        for (std::uint32_t r = 0; r < limit; ++r) {
+            if (!fits(arc, r))
+                continue;
+            apply(arc, r, +1);
+            const std::uint32_t saved = maxUsedRound_;
+            maxUsedRound_ = std::max(maxUsedRound_, r);
+            if (place(idx + 1, rounds))
+                return true;
+            maxUsedRound_ = saved;
+            apply(arc, r, -1);
+            if (exhausted_)
+                return false;
+        }
+        return false;
+    }
+
+    net::NodeId n_;
+    const workload::PairList &pairs_;
+    std::uint32_t k_;
+    std::uint64_t budget_;
+    bool exhausted_ = false;
+    std::vector<std::size_t> order_;
+    std::vector<std::vector<std::uint32_t>> usage_;
+    std::uint32_t maxUsedRound_ = 0;
+};
+
+} // namespace
+
+std::uint32_t
+optimalRounds(net::NodeId n, const workload::PairList &pairs,
+              std::uint32_t k, std::uint64_t node_budget)
+{
+    rmb_assert(k >= 1, "k must be >= 1");
+    if (pairs.empty())
+        return 0;
+    const std::uint32_t lo = minRounds(n, pairs, k);
+    const std::uint32_t hi = greedySchedule(n, pairs, k).numRounds;
+    for (std::uint32_t rounds = lo; rounds < hi; ++rounds) {
+        RoundSearch search(n, pairs, k, node_budget);
+        if (search.feasible(rounds))
+            return rounds;
+        if (search.budgetExhausted())
+            return 0; // could not prove optimality
+    }
+    return hi;
+}
+
+sim::Tick
+lowerBoundTicks(net::NodeId n, const workload::PairList &pairs,
+                std::uint32_t k, std::uint32_t payload_flits,
+                const TimingModel &timing)
+{
+    if (pairs.empty())
+        return 0;
+    // Longest single message, unloaded, measured to its delivery
+    // (batch makespans are delivery-relative).
+    sim::Tick longest = 0;
+    std::uint32_t shortest_hops = UINT32_MAX;
+    for (const auto &[src, dst] : pairs) {
+        const std::uint32_t h = pathHops(n, src, dst);
+        longest = std::max(longest,
+                           timing.deliveryTime(h, payload_flits));
+        shortest_hops = std::min(shortest_hops, h);
+    }
+    // Bandwidth bound: the busiest gap must serialize its arcs into
+    // batches of at most k; consecutive users of a segment are
+    // separated by at least the quickest possible full hold time
+    // (header passage to Fack), and the last one still needs its
+    // delivery time.
+    const std::uint32_t rounds = minRounds(n, pairs, k);
+    const sim::Tick min_hold =
+        timing.messageTime(1, payload_flits);
+    const sim::Tick bandwidth =
+        static_cast<sim::Tick>(rounds - 1) * min_hold +
+        timing.deliveryTime(1, payload_flits);
+    return std::max(longest, bandwidth);
+}
+
+sim::Tick
+greedyMakespanTicks(net::NodeId n, const workload::PairList &pairs,
+                    std::uint32_t k, std::uint32_t payload_flits,
+                    const TimingModel &timing)
+{
+    if (pairs.empty())
+        return 0;
+    const OfflineSchedule s = greedySchedule(n, pairs, k);
+    // Round r lasts as long as its slowest message.
+    std::vector<sim::Tick> round_time(s.numRounds, 0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const std::uint32_t h =
+            pathHops(n, pairs[i].first, pairs[i].second);
+        round_time[s.round[i]] =
+            std::max(round_time[s.round[i]],
+                     timing.messageTime(h, payload_flits));
+    }
+    sim::Tick total = 0;
+    for (sim::Tick t : round_time)
+        total += t;
+    return total;
+}
+
+} // namespace offline
+} // namespace rmb

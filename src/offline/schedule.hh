@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Offline scheduling bounds for the competitiveness study the paper
+ * proposes in its concluding remarks ("the ratio of its required
+ * time for communicating all messages to the time required by an
+ * optimal off-line schedule").
+ *
+ * A message from s to d occupies one bus level in every clockwise
+ * gap of its path for its whole circuit lifetime, so a batch of
+ * messages maps to clockwise arcs on the ring and an offline
+ * schedule is a colouring of those arcs into rounds where no gap
+ * carries more than k arcs per round.
+ */
+
+#ifndef RMB_OFFLINE_SCHEDULE_HH
+#define RMB_OFFLINE_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace offline {
+
+/** Timing model used to convert rounds into ticks. */
+struct TimingModel
+{
+    sim::Tick headerHopDelay = 4;
+    sim::Tick ackHopDelay = 2;
+    sim::Tick flitDelay = 1;
+
+    /**
+     * Time one message holds its circuit and completes, from
+     * injection to the source-side teardown finishing: header walk +
+     * Hack walk + stream + Fack walk.
+     */
+    sim::Tick messageTime(std::uint32_t hops,
+                          std::uint32_t payload_flits) const;
+
+    /**
+     * Injection-to-delivery time (no trailing Fack walk); matches
+     * how batch makespans are measured (last delivery).
+     */
+    sim::Tick deliveryTime(std::uint32_t hops,
+                           std::uint32_t payload_flits) const;
+};
+
+/** A batch schedule: per-message round assignment. */
+struct OfflineSchedule
+{
+    std::vector<std::uint32_t> round; //!< per pair index
+    std::uint32_t numRounds = 0;
+};
+
+/**
+ * The bandwidth lower bound: no schedule needs fewer than
+ * ceil(maxRingLoad / k) rounds.
+ */
+std::uint32_t minRounds(net::NodeId n, const workload::PairList &pairs,
+                        std::uint32_t k);
+
+/**
+ * First-fit greedy arc colouring: assign each pair (longest path
+ * first) to the earliest round where every gap on its path still has
+ * a level free.  Produces a feasible offline schedule whose round
+ * count is an upper bound on the optimum.
+ */
+OfflineSchedule greedySchedule(net::NodeId n,
+                               const workload::PairList &pairs,
+                               std::uint32_t k);
+
+/**
+ * Exact minimum number of rounds for @p pairs on k buses, by
+ * branch-and-bound over arc-to-round assignments (the decision
+ * problem is circular-arc colouring, NP-hard in general, so this is
+ * only for small instances).  Search effort is bounded by
+ * @p node_budget branch steps; returns 0 if the budget is exhausted
+ * before proving optimality.
+ */
+std::uint32_t optimalRounds(net::NodeId n,
+                            const workload::PairList &pairs,
+                            std::uint32_t k,
+                            std::uint64_t node_budget = 5'000'000);
+
+/**
+ * A makespan lower bound in ticks for any schedule of @p pairs on an
+ * RMB with k buses: the larger of the bandwidth bound (rounds times
+ * the shortest message service time crossing the busiest gap) and
+ * the longest single message's unloaded completion time.
+ */
+sim::Tick lowerBoundTicks(net::NodeId n,
+                          const workload::PairList &pairs,
+                          std::uint32_t k, std::uint32_t payload_flits,
+                          const TimingModel &timing);
+
+/**
+ * Makespan of the greedy offline schedule under an idealized
+ * executor that starts round r+1 the instant round r's last message
+ * finishes (no retries, no compaction delays).  An upper bound on
+ * the optimal offline makespan and the reference the competitiveness
+ * bench reports against.
+ */
+sim::Tick greedyMakespanTicks(net::NodeId n,
+                              const workload::PairList &pairs,
+                              std::uint32_t k,
+                              std::uint32_t payload_flits,
+                              const TimingModel &timing);
+
+} // namespace offline
+} // namespace rmb
+
+#endif // RMB_OFFLINE_SCHEDULE_HH

@@ -1,0 +1,174 @@
+#include "report/report.hh"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rmb {
+namespace report {
+
+namespace {
+
+/** Minimal JSON assembly (numbers, strings, nesting). */
+class Json
+{
+  public:
+    void
+    beginObject(const std::string &key = "")
+    {
+        comma();
+        if (!key.empty())
+            out_ << '"' << key << "\":";
+        out_ << '{';
+        first_ = true;
+    }
+
+    void
+    endObject()
+    {
+        out_ << '}';
+        first_ = false;
+    }
+
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        comma();
+        out_ << '"' << key << "\":" << v;
+    }
+
+    void
+    field(const std::string &key, std::int64_t v)
+    {
+        comma();
+        out_ << '"' << key << "\":" << v;
+    }
+
+    void
+    field(const std::string &key, double v)
+    {
+        comma();
+        if (std::isnan(v) || std::isinf(v)) {
+            out_ << '"' << key << "\":null";
+        } else {
+            out_ << '"' << key << "\":" << v;
+        }
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        out_ << '"' << key << "\":\"" << v << '"';
+    }
+
+    std::string str() const { return out_.str(); }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            out_ << ',';
+        first_ = false;
+    }
+
+    std::ostringstream out_;
+    bool first_ = true;
+};
+
+void
+sampleStat(Json &json, const std::string &key,
+           const sim::SampleStat &stat)
+{
+    json.beginObject(key);
+    json.field("count", stat.count());
+    json.field("mean", stat.mean());
+    json.field("min", stat.min());
+    json.field("max", stat.max());
+    json.field("p50", stat.percentile(50));
+    json.field("p95", stat.percentile(95));
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+statsToJson(const net::Network &network, sim::Tick now)
+{
+    const net::NetworkStats &s = network.stats();
+    Json json;
+    json.beginObject();
+    json.field("network", network.name());
+    json.field("nodes", std::uint64_t{network.numNodes()});
+    json.field("now", static_cast<std::uint64_t>(now));
+    json.field("injected", s.injected);
+    json.field("delivered", s.delivered);
+    json.field("failed", s.failed);
+    json.field("nacks", s.nacks);
+    json.field("retries", s.retries);
+    sampleStat(json, "queueDelay", s.queueDelay);
+    sampleStat(json, "setupLatency", s.setupLatency);
+    sampleStat(json, "totalLatency", s.totalLatency);
+    sampleStat(json, "pathLength", s.pathLength);
+    json.field("peakCircuits",
+               static_cast<std::int64_t>(
+                   s.activeCircuits.maximum()));
+
+    if (const auto *rmb =
+            dynamic_cast<const core::RmbNetwork *>(&network)) {
+        const core::RmbStats &r = rmb->rmbStats();
+        json.beginObject("rmb");
+        json.field("buses",
+                   std::uint64_t{rmb->config().numBuses});
+        json.field("compactionMoves", r.compactionMoves);
+        json.field("blockedHeaders", r.blockedHeaders);
+        json.field("blockedAborts", r.blockedAborts);
+        json.field("timeoutAborts", r.timeoutAborts);
+        json.field("cycleFlips", r.cycleFlips);
+        json.field("maxCycleSkew", r.maxCycleSkew);
+        json.field("dacks", r.dacks);
+        json.field("multicasts", r.multicasts);
+        sampleStat(json, "topReleaseLatency",
+                   r.topReleaseLatency);
+        json.field("avgSegmentUtilization",
+                   rmb->segments().averageUtilization(now));
+        json.field("faultySegments",
+                   std::uint64_t{rmb->segments().faultyCount()});
+        json.endObject();
+    }
+    json.endObject();
+    return json.str();
+}
+
+void
+utilizationHeatmap(std::ostream &os,
+                   const core::RmbNetwork &network, sim::Tick now)
+{
+    static const char kScale[] = " .:-=+*#%@";
+    const auto &segments = network.segments();
+    const auto n = segments.numGaps();
+    const auto k = segments.numLevels();
+
+    os << "segment utilization heatmap (columns = gaps 0.."
+       << n - 1 << ", X = faulted)\n";
+    for (int l = static_cast<int>(k) - 1; l >= 0; --l) {
+        os << "  L" << l
+           << (l == static_cast<int>(k) - 1 ? " (top)|" : "      |");
+        for (core::GapId g = 0; g < n; ++g) {
+            if (segments.isFaulty(g, l)) {
+                os << 'X';
+                continue;
+            }
+            const double u = segments.utilization(g, l, now);
+            const auto bucket = static_cast<std::size_t>(
+                u * 9.999);
+            os << kScale[bucket > 9 ? 9 : bucket];
+        }
+        os << "|\n";
+    }
+    os << "  scale: ' ' = idle ... '@' = ~100% busy\n";
+}
+
+} // namespace report
+} // namespace rmb

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable and visual run reports.
+ *
+ * - statsToJson(): serialize a network's aggregate statistics (plus
+ *   RMB-specific counters when applicable) as a JSON object, for
+ *   scripting around rmbsim and the benches.
+ * - utilizationHeatmap(): render the RMB's per-segment
+ *   time-weighted utilization as an ASCII heatmap (gaps across,
+ *   levels down) - the static counterpart of the
+ *   permutation_route example's live view.
+ */
+
+#ifndef RMB_REPORT_REPORT_HH
+#define RMB_REPORT_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "netbase/network.hh"
+#include "rmb/network.hh"
+
+namespace rmb {
+namespace report {
+
+/**
+ * Serialize @p network's statistics as a single JSON object.
+ * Always includes the common counters; adds a "rmb" sub-object for
+ * RmbNetwork instances.  NaNs (empty stats) are emitted as null.
+ */
+std::string statsToJson(const net::Network &network, sim::Tick now);
+
+/** Render the N x k utilization heatmap of an RMB to @p os. */
+void utilizationHeatmap(std::ostream &os,
+                        const core::RmbNetwork &network,
+                        sim::Tick now);
+
+} // namespace report
+} // namespace rmb
+
+#endif // RMB_REPORT_REPORT_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Configuration of an RMB network instance.
+ */
+
+#ifndef RMB_RMB_CONFIG_HH
+#define RMB_RMB_CONFIG_HH
+
+#include <cstdint>
+
+#include "rmb/types.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace core {
+
+/**
+ * All tunables of the RMB simulation.  Defaults model a medium-sized
+ * ring (paper section 1) with mildly asynchronous INC clocks.
+ */
+struct RmbConfig
+{
+    /** Number of nodes N on the ring. */
+    std::uint32_t numNodes = 16;
+
+    /** Number of physical bus segments k between adjacent INCs. */
+    std::uint32_t numBuses = 4;
+
+    /** Header flit propagation time across one gap. */
+    sim::Tick headerHopDelay = 4;
+
+    /** Ack (Hack/Dack/Fack/Nack) propagation time across one gap. */
+    sim::Tick ackHopDelay = 2;
+
+    /** Data flit time per gap (pipelined streaming). */
+    sim::Tick flitDelay = 1;
+
+    /**
+     * Simulate every data flit individually with Dack-based sliding
+     * window flow control (paper section 2.2's data flit
+     * acknowledgement, "used for continuation of data flit
+     * transmissions and may also be used for flow control").  When
+     * false, streaming uses the equivalent closed-form pipeline
+     * time; the flit_level tests prove the two agree whenever the
+     * window does not throttle.
+     */
+    bool detailedFlits = false;
+
+    /** Max unacknowledged data flits in flight (detailed mode). */
+    std::uint32_t dackWindow = 8;
+
+    /**
+     * Local compaction-clock period bounds per INC; each INC draws a
+     * fixed period uniformly from [min, max], modelling the paper's
+     * independent clocks.  The make-before-break break step happens
+     * half a period after the make step.
+     */
+    sim::Tick cyclePeriodMin = 6;
+    sim::Tick cyclePeriodMax = 10;
+
+    /** Output-level preference of an advancing header (see
+     *  HeaderPolicy). */
+    HeaderPolicy headerPolicy = HeaderPolicy::PreferLowest;
+
+    /**
+     * Concurrent sends / receives per PE.  1 each is the paper's
+     * base interface; larger values model its section 2.1
+     * "enhanced" interface (and exercise the top-bus recycling that
+     * compaction provides).  A node still injects one header at a
+     * time - its gap has a single top segment - so extra send ports
+     * only pay off once compaction frees the top bus early.
+     */
+    std::uint32_t sendPorts = 1;
+    std::uint32_t receivePorts = 1;
+
+    /**
+     * Behaviour of a header blocked at an intermediate INC.  The
+     * default is NackRetry: Wait (hold the partial bus) can deadlock
+     * once the ring is oversubscribed - a measurable finding of this
+     * reproduction (see EXPERIMENTS.md) - while NackRetry matches
+     * Theorem 1's "a request is provided if a segment is available"
+     * reading and is deadlock free.
+     */
+    BlockingPolicy blocking = BlockingPolicy::NackRetry;
+
+    /**
+     * In Wait mode, tear down and retry if a header has been blocked
+     * this long (0 disables the timeout).  A safety valve; section 2
+     * of the paper argues blocking is rare once compaction runs.
+     */
+    sim::Tick headerTimeout = 0;
+
+    /** Source retry backoff after a Nack: uniform in [min, max]. */
+    sim::Tick retryBackoffMin = 8;
+    sim::Tick retryBackoffMax = 32;
+
+    /**
+     * Double the backoff per consecutive retry of a message (capped
+     * below); prevents retry livelock when the ring is heavily
+     * oversubscribed.
+     */
+    bool exponentialBackoff = true;
+    sim::Tick retryBackoffCap = 512;
+
+    /** Upper bound on retries per message (0 = unlimited). */
+    std::uint32_t maxRetries = 0;
+
+    /**
+     * Master switch for the compaction protocol; disabling it is the
+     * key ablation (the top bus is then the only injection resource
+     * and never recycled until teardown).
+     */
+    bool enableCompaction = true;
+
+    /** Invariant-checking level. */
+    VerifyLevel verify = VerifyLevel::Cheap;
+
+    /** Seed for all randomness (INC clock jitter, backoff). */
+    std::uint64_t seed = 1;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_CONFIG_HH

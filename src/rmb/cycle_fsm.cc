@@ -1,0 +1,51 @@
+#include "rmb/cycle_fsm.hh"
+
+namespace rmb {
+namespace core {
+
+bool
+CycleFsm::step(bool ld, bool lc, bool rd, bool rc)
+{
+    switch (phase_) {
+      case CyclePhase::Moving:
+        // Rule 2: OD := 1 if ID and both neighbour cycles are clear.
+        if (id_ && !lc && !rc) {
+            od_ = true;
+            phase_ = CyclePhase::WaitNeighborsDone;
+        }
+        return false;
+
+      case CyclePhase::WaitNeighborsDone:
+        // Rule 3 (Figure 10): OC := 1 once both neighbours report
+        // their datapath switches complete; the local cycle flips.
+        if (ld && rd) {
+            oc_ = true;
+            ++cycleCount_;
+            phase_ = CyclePhase::WaitNeighborsCycle;
+        }
+        return false;
+
+      case CyclePhase::WaitNeighborsCycle:
+        // Rule 4: OD := 0 once both neighbours flipped their cycles.
+        if (lc && rc) {
+            od_ = false;
+            phase_ = CyclePhase::WaitNeighborsClear;
+        }
+        return false;
+
+      case CyclePhase::WaitNeighborsClear:
+        // Rule 5: OC := 0 once both neighbours cleared OD; the next
+        // Moving phase begins.
+        if (!ld && !rd) {
+            oc_ = false;
+            id_ = false;
+            phase_ = CyclePhase::Moving;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+} // namespace core
+} // namespace rmb

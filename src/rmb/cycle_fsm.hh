@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The odd/even cycle controller of one INC (paper section 2.5).
+ *
+ * Each INC alternates between odd and even compaction cycles using a
+ * purely local four-phase handshake with its two ring neighbours.
+ * The paper expresses it as two flags per INC,
+ *
+ *   OD - "own datapaths have switched" (this cycle's moves are done)
+ *   OC - "own cycle has changed"
+ *
+ * plus each neighbour's view of them (LD/LC from the left, RD/RC from
+ * the right), an internal ID signal ("all datapath switches
+ * complete"), and five rules (section 2.5 / Figure 10):
+ *
+ *   1. at reset OD = OC = 0
+ *   2. OD := 1  if ID = 1 and LC = 0 and RC = 0
+ *   3. OC := 1  if OD = 1 and LD = 1 and RD = 1
+ *   4. OD := 0  if OD = 1 and LC = 1 and RC = 1
+ *   5. OC := 0  if OC = 1 and LD = 0 and RD = 0
+ *
+ * (The body text of the paper prints rule 3 as "OC = 1 if OD = 1 and
+ * LC = 0 and RC = 0", but that makes OC rise in the same instant as
+ * OD regardless of the neighbours; Figure 10's version - shown above -
+ * is the one that actually synchronizes, so we implement that and
+ * flag the discrepancy here.)
+ *
+ * The FSM guarantees (paper Lemma 1, checked by our property tests)
+ * that neighbouring INCs' completed-cycle counts never differ by more
+ * than one.
+ */
+
+#ifndef RMB_RMB_CYCLE_FSM_HH
+#define RMB_RMB_CYCLE_FSM_HH
+
+#include <cstdint>
+
+namespace rmb {
+namespace core {
+
+/** The four waiting states between datapath-switching phases. */
+enum class CyclePhase : std::uint8_t
+{
+    Moving,             //!< executing this cycle's datapath moves
+    WaitNeighborsDone,  //!< OD=1, waiting for LD and RD
+    WaitNeighborsCycle, //!< OC=1, waiting for LC and RC
+    WaitNeighborsClear, //!< OD=0, waiting for LD and RD to clear
+};
+
+/**
+ * Pure state machine: the owner (the Inc) feeds it neighbour flags on
+ * every local clock tick and is told when a new Moving phase begins.
+ */
+class CycleFsm
+{
+  public:
+    bool od() const { return od_; }
+    bool oc() const { return oc_; }
+    CyclePhase phase() const { return phase_; }
+
+    /** Number of completed odd/even cycles. */
+    std::uint64_t cycleCount() const { return cycleCount_; }
+
+    /**
+     * Parity of the bus levels this INC may move during the current
+     * Moving phase, per section 2.4: an even INC moves even levels in
+     * even cycles, an odd INC moves even levels in odd cycles.
+     * @param inc_index this INC's position on the ring.
+     */
+    int
+    consideredParity(std::uint32_t inc_index) const
+    {
+        return static_cast<int>((inc_index + cycleCount_) % 2);
+    }
+
+    /** Assert the internal ID signal: this cycle's moves are done. */
+    void setMovesDone() { id_ = true; }
+
+    /** True while the FSM is in Moving and moves are not yet done. */
+    bool
+    moving() const
+    {
+        return phase_ == CyclePhase::Moving && !id_;
+    }
+
+    /**
+     * Evaluate the rules against the current neighbour flags.
+     * @param ld left neighbour's OD   @param lc left neighbour's OC
+     * @param rd right neighbour's OD  @param rc right neighbour's OC
+     * @retval true if a new Moving phase just began (the caller
+     *         should plan and execute this cycle's datapath moves,
+     *         then call setMovesDone()).
+     */
+    bool step(bool ld, bool lc, bool rd, bool rc);
+
+  private:
+    CyclePhase phase_ = CyclePhase::Moving;
+    bool od_ = false;
+    bool oc_ = false;
+    bool id_ = false;
+    std::uint64_t cycleCount_ = 0;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_CYCLE_FSM_HH

@@ -1,0 +1,136 @@
+#include "rmb/dual_ring.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace core {
+
+DualRingRmbNetwork::DualRingRmbNetwork(sim::Simulator &simulator,
+                                       const RmbConfig &config)
+    : net::Network(simulator, "RMB(dual-ring)", config.numNodes),
+      config_(config)
+{
+    RmbConfig cw_cfg = config;
+    RmbConfig ccw_cfg = config;
+    // Decorrelate the planes' clock jitter and backoff draws.
+    ccw_cfg.seed = config.seed * 2654435761u + 1;
+    cw_ = std::make_unique<RmbNetwork>(simulator, cw_cfg);
+    ccw_ = std::make_unique<RmbNetwork>(simulator, ccw_cfg);
+    attach(*cw_, RingPlane::Clockwise);
+    attach(*ccw_, RingPlane::CounterClockwise);
+}
+
+net::NodeId
+DualRingRmbNetwork::reflect(net::NodeId node) const
+{
+    return static_cast<net::NodeId>((numNodes() - node) %
+                                    numNodes());
+}
+
+std::uint32_t
+DualRingRmbNetwork::cwDistance(net::NodeId src,
+                               net::NodeId dst) const
+{
+    return (dst + numNodes() - src) % numNodes();
+}
+
+void
+DualRingRmbNetwork::attach(RmbNetwork &plane, RingPlane which)
+{
+    plane.setDeliveryCallback([this, which](const net::Message &pm) {
+        onPlaneDelivered(which, pm);
+    });
+    plane.setFailureCallback([this, which](const net::Message &pm) {
+        onPlaneFailed(which, pm);
+    });
+}
+
+net::MessageId
+DualRingRmbNetwork::send(net::NodeId src, net::NodeId dst,
+                         std::uint32_t payload_flits)
+{
+    net::Message &m = createMessage(src, dst, payload_flits);
+
+    const std::uint32_t cw_dist = cwDistance(src, dst);
+    const bool go_cw = cw_dist <= numNodes() - cw_dist;
+
+    net::MessageId plane_id;
+    if (go_cw) {
+        plane_id = cw_->send(src, dst, payload_flits);
+        cwToOurs_.resize(
+            std::max<std::size_t>(cwToOurs_.size(), plane_id), 0);
+        cwToOurs_[plane_id - 1] = m.id;
+    } else {
+        plane_id =
+            ccw_->send(reflect(src), reflect(dst), payload_flits);
+        ccwToOurs_.resize(
+            std::max<std::size_t>(ccwToOurs_.size(), plane_id), 0);
+        ccwToOurs_[plane_id - 1] = m.id;
+    }
+    forwards_.push_back(Forward{go_cw
+                                    ? RingPlane::Clockwise
+                                    : RingPlane::CounterClockwise,
+                                plane_id});
+    rmb_assert(forwards_.size() == m.id,
+               "forward table out of sync");
+    return m.id;
+}
+
+RingPlane
+DualRingRmbNetwork::plane(net::MessageId id) const
+{
+    rmb_assert(id != net::kNoMessage && id <= forwards_.size(),
+               "unknown message id ", id);
+    return forwards_[id - 1].plane;
+}
+
+void
+DualRingRmbNetwork::onPlaneDelivered(RingPlane which,
+                                     const net::Message &pm)
+{
+    const auto &map = which == RingPlane::Clockwise ? cwToOurs_
+                                                    : ccwToOurs_;
+    rmb_assert(pm.id <= map.size() && map[pm.id - 1] != 0,
+               "plane delivered an unmapped message");
+    net::Message &m = messageRef(map[pm.id - 1]);
+
+    // Mirror the plane's lifecycle timestamps into our record and
+    // feed the aggregate statistics exactly once per phase.
+    m.firstAttempt = pm.firstAttempt;
+    m.established = pm.established;
+    m.nacks = pm.nacks;
+    m.retries = pm.retries;
+    stats_.nacks += pm.nacks;
+    stats_.retries += pm.retries;
+    stats_.queueDelay.add(
+        static_cast<double>(m.firstAttempt - m.created));
+    stats_.setupLatency.add(
+        static_cast<double>(m.established - m.firstAttempt));
+    noteDelivered(m, cwDistance(pm.src, pm.dst));
+}
+
+void
+DualRingRmbNetwork::onPlaneFailed(RingPlane which,
+                                  const net::Message &pm)
+{
+    const auto &map = which == RingPlane::Clockwise ? cwToOurs_
+                                                    : ccwToOurs_;
+    rmb_assert(pm.id <= map.size() && map[pm.id - 1] != 0,
+               "plane failed an unmapped message");
+    net::Message &m = messageRef(map[pm.id - 1]);
+    m.nacks = pm.nacks;
+    m.retries = pm.retries;
+    stats_.nacks += pm.nacks;
+    stats_.retries += pm.retries;
+    noteFailed(m);
+}
+
+std::uint64_t
+DualRingRmbNetwork::totalCompactionMoves() const
+{
+    return cw_->rmbStats().compactionMoves +
+           ccw_->rmbStats().compactionMoves;
+}
+
+} // namespace core
+} // namespace rmb

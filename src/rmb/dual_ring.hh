@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Two counter-rotating RMB rings.
+ *
+ * Paper section 2.1: "although, for simplicity, we describe the
+ * communication as a one-way ring, for efficiency reasons, one may
+ * like to organize the communication as two parallel unidirectional
+ * rings."  This module builds that system: a clockwise and a
+ * counter-clockwise RMB plane over the same nodes, with each message
+ * routed on the plane that gives it the shorter path (halving the
+ * expected distance from N/2 to N/4).
+ *
+ * The counter-clockwise plane is realized as a regular (clockwise)
+ * RmbNetwork over *reflected* node indices (i -> (N - i) mod N), so
+ * the full protocol - compaction, odd/even cycles, acks - runs
+ * unchanged on both planes.
+ */
+
+#ifndef RMB_RMB_DUAL_RING_HH
+#define RMB_RMB_DUAL_RING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netbase/network.hh"
+#include "rmb/config.hh"
+#include "rmb/network.hh"
+
+namespace rmb {
+namespace core {
+
+/** Which plane a message was routed on. */
+enum class RingPlane : std::uint8_t
+{
+    Clockwise,
+    CounterClockwise,
+};
+
+/**
+ * The dual-ring RMB.  The RmbConfig applies to each plane (numBuses
+ * buses *per direction*, so the system spends 2k buses total, like
+ * the paper's EHC comparison doubles links).
+ */
+class DualRingRmbNetwork : public net::Network
+{
+  public:
+    DualRingRmbNetwork(sim::Simulator &simulator,
+                       const RmbConfig &config);
+
+    /** Route on the shorter-path plane (ties go clockwise). */
+    net::MessageId send(net::NodeId src, net::NodeId dst,
+                        std::uint32_t payload_flits) override;
+
+    /** Plane a message was assigned to. */
+    RingPlane plane(net::MessageId id) const;
+
+    /** Clockwise hop count if routed CW vs CCW. */
+    std::uint32_t cwDistance(net::NodeId src, net::NodeId dst) const;
+
+    /** The underlying planes (internal node ids on the CCW plane
+     *  are reflected: external i <-> internal (N - i) mod N). */
+    const RmbNetwork &clockwise() const { return *cw_; }
+    const RmbNetwork &counterClockwise() const { return *ccw_; }
+
+    /** Sum of both planes' compaction moves. */
+    std::uint64_t totalCompactionMoves() const;
+
+  private:
+    /** Reflect an external node id into the CCW plane's space. */
+    net::NodeId reflect(net::NodeId node) const;
+
+    /** Wire a plane's delivery/failure events back to our records. */
+    void attach(RmbNetwork &plane, RingPlane which);
+
+    void onPlaneDelivered(RingPlane which, const net::Message &pm);
+    void onPlaneFailed(RingPlane which, const net::Message &pm);
+
+    RmbConfig config_;
+    std::unique_ptr<RmbNetwork> cw_;
+    std::unique_ptr<RmbNetwork> ccw_;
+
+    struct Forward
+    {
+        RingPlane plane;
+        net::MessageId planeMessage;
+    };
+    /** Our message id -> plane assignment (index = id - 1). */
+    std::vector<Forward> forwards_;
+    /** Per-plane: plane message id -> our message id. */
+    std::vector<net::MessageId> cwToOurs_;
+    std::vector<net::MessageId> ccwToOurs_;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_DUAL_RING_HH

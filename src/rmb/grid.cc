@@ -1,0 +1,184 @@
+#include "rmb/grid.hh"
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace core {
+
+namespace {
+
+net::NodeId
+product(const std::vector<std::uint32_t> &dims)
+{
+    if (dims.empty())
+        fatal("grid needs at least one dimension");
+    std::uint64_t n = 1;
+    for (const std::uint32_t d : dims) {
+        if (d < 2)
+            fatal("grid needs width and height (every extent)"
+                  " >= 2, got ", d);
+        n *= d;
+        if (n > (1u << 24))
+            fatal("grid too large");
+    }
+    return static_cast<net::NodeId>(n);
+}
+
+} // namespace
+
+RmbGridNetwork::RmbGridNetwork(sim::Simulator &simulator,
+                               std::vector<std::uint32_t> dims,
+                               const RmbConfig &config,
+                               std::string name)
+    : net::Network(simulator, std::move(name), product(dims)),
+      dims_(std::move(dims)), ringConfig_(config)
+{
+    stride_.resize(dims_.size());
+    std::uint32_t s = 1;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        stride_[d] = s;
+        s *= dims_[d];
+    }
+
+    rings_.resize(dims_.size());
+    pending_.resize(dims_.size());
+    for (std::uint32_t d = 0; d < dims_.size(); ++d) {
+        const std::uint32_t num_rings = numNodes() / dims_[d];
+        pending_[d].resize(num_rings);
+        for (std::uint32_t ring = 0; ring < num_rings; ++ring) {
+            RmbConfig cfg = ringConfig_;
+            cfg.numNodes = dims_[d];
+            cfg.seed = ringConfig_.seed * 7919 +
+                       d * 104729 + ring;
+            rings_[d].push_back(
+                std::make_unique<RmbNetwork>(simulator, cfg));
+            rings_[d][ring]->setDeliveryCallback(
+                [this, d, ring](const net::Message &pm) {
+                    onLegDelivered(d, ring, pm);
+                });
+        }
+    }
+}
+
+std::uint32_t
+RmbGridNetwork::coordinate(net::NodeId node, std::uint32_t d) const
+{
+    return (node / stride_[d]) % dims_[d];
+}
+
+std::uint32_t
+RmbGridNetwork::ringIndex(std::uint32_t d, net::NodeId node) const
+{
+    // The node id with coordinate d removed.
+    const std::uint32_t low = node % stride_[d];
+    const std::uint32_t high =
+        node / (stride_[d] * dims_[d]);
+    return low + high * stride_[d];
+}
+
+const RmbNetwork &
+RmbGridNetwork::lineRing(std::uint32_t d, net::NodeId node) const
+{
+    rmb_assert(d < dims_.size(), "dimension out of range");
+    rmb_assert(node < numNodes(), "node out of range");
+    return *rings_[d][ringIndex(d, node)];
+}
+
+net::MessageId
+RmbGridNetwork::send(net::NodeId src, net::NodeId dst,
+                     std::uint32_t payload_flits)
+{
+    net::Message &m = createMessage(src, dst, payload_flits);
+    noteFirstAttempt(m);
+
+    std::uint32_t differing = 0;
+    for (std::uint32_t d = 0; d < dims_.size(); ++d)
+        differing += coordinate(src, d) != coordinate(dst, d);
+    rmb_assert(differing > 0, "self-messages are rejected earlier");
+    if (differing > 1)
+        ++multiLeg_;
+
+    Pending pending;
+    pending.ours = m.id;
+    pending.dst = dst;
+    pending.at = src;
+    launchLeg(pending, 0);
+    return m.id;
+}
+
+void
+RmbGridNetwork::launchLeg(Pending pending, std::uint32_t from_dim)
+{
+    for (std::uint32_t d = from_dim; d < dims_.size(); ++d) {
+        const std::uint32_t here = coordinate(pending.at, d);
+        const std::uint32_t there = coordinate(pending.dst, d);
+        if (here == there)
+            continue;
+        const std::uint32_t ring = ringIndex(d, pending.at);
+        const net::Message &m = message(pending.ours);
+        const net::MessageId leg =
+            rings_[d][ring]->send(here, there, m.payloadFlits);
+        // Position after this leg: coordinate d corrected.
+        pending.at =
+            pending.at - here * stride_[d] + there * stride_[d];
+        pending.nextDim = d + 1;
+        pending_[d][ring][leg] = pending;
+        return;
+    }
+    panic("launchLeg found no differing coordinate");
+}
+
+void
+RmbGridNetwork::onLegDelivered(std::uint32_t d, std::uint32_t ring,
+                               const net::Message &pm)
+{
+    auto it = pending_[d][ring].find(pm.id);
+    rmb_assert(it != pending_[d][ring].end(),
+               "ring delivered an unmapped message");
+    Pending pending = it->second;
+    pending_[d][ring].erase(it);
+
+    net::Message &m = messageRef(pending.ours);
+    m.nacks += pm.nacks;
+    m.retries += pm.retries;
+    stats_.nacks += pm.nacks;
+    stats_.retries += pm.retries;
+    pending.hops +=
+        (pm.dst + dims_[d] - pm.src) % dims_[d];
+
+    for (std::uint32_t next = pending.nextDim;
+         next < dims_.size(); ++next) {
+        if (coordinate(pending.at, next) !=
+            coordinate(pending.dst, next)) {
+            launchLeg(pending, next);
+            return;
+        }
+    }
+    finish(pending, pm);
+}
+
+void
+RmbGridNetwork::finish(Pending &pending,
+                       const net::Message &last_leg)
+{
+    net::Message &m = messageRef(pending.ours);
+    rmb_assert(pending.at == pending.dst,
+               "message finished away from its destination");
+    m.established = last_leg.established;
+    stats_.setupLatency.add(
+        static_cast<double>(m.established - m.firstAttempt));
+    noteDelivered(m, pending.hops);
+}
+
+std::uint64_t
+RmbGridNetwork::totalCompactionMoves() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dimension : rings_)
+        for (const auto &ring : dimension)
+            total += ring->rmbStats().compactionMoves;
+    return total;
+}
+
+} // namespace core
+} // namespace rmb

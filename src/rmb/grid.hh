@@ -1,0 +1,113 @@
+/**
+ * @file
+ * n-dimensional grids of RMB rings (paper section 4: "the design of
+ * reconfigurable multiple bus systems for 2- and 3-D grid connected
+ * computers").
+ *
+ * Every grid *line* (the set of nodes differing only in one
+ * coordinate) is a full RMB ring.  A message routes dimension-
+ * ordered: one ring leg per differing coordinate, with
+ * store-and-forward at each turning node.  RmbTorusNetwork is the
+ * 2-D special case with row/column accessors.
+ */
+
+#ifndef RMB_RMB_GRID_HH
+#define RMB_RMB_GRID_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/network.hh"
+#include "rmb/config.hh"
+#include "rmb/network.hh"
+
+namespace rmb {
+namespace core {
+
+/** Grid of RMB rings over dims[0] x dims[1] x ... nodes. */
+class RmbGridNetwork : public net::Network
+{
+  public:
+    /**
+     * @param dims extent per dimension (each >= 2, at least one
+     *        dimension); node ids are mixed-radix with dimension 0
+     *        fastest: id = x0 + dims[0]*(x1 + dims[1]*(x2 + ...)).
+     * @param config applies to every ring; numNodes is ignored.
+     */
+    RmbGridNetwork(sim::Simulator &simulator,
+                   std::vector<std::uint32_t> dims,
+                   const RmbConfig &config,
+                   std::string name = "RMB(grid)");
+
+    net::MessageId send(net::NodeId src, net::NodeId dst,
+                        std::uint32_t payload_flits) override;
+
+    std::uint32_t numDims() const
+    {
+        return static_cast<std::uint32_t>(dims_.size());
+    }
+
+    std::uint32_t
+    dimExtent(std::uint32_t d) const
+    {
+        return dims_[d];
+    }
+
+    /** Coordinate @p d of node @p node. */
+    std::uint32_t coordinate(net::NodeId node,
+                             std::uint32_t d) const;
+
+    /**
+     * The ring running along dimension @p d through node @p node
+     * (all rings through a node are distinct RmbNetworks).
+     */
+    const RmbNetwork &lineRing(std::uint32_t d,
+                               net::NodeId node) const;
+
+    /** Messages that needed more than one ring leg. */
+    std::uint64_t multiLegMessages() const { return multiLeg_; }
+
+    /** Total compaction moves across every ring. */
+    std::uint64_t totalCompactionMoves() const;
+
+  private:
+    struct Pending
+    {
+        net::MessageId ours = net::kNoMessage;
+        net::NodeId dst = 0;       //!< global destination
+        net::NodeId at = 0;        //!< global position after this leg
+        std::uint32_t nextDim = 0; //!< next dimension to correct
+        std::uint32_t hops = 0;    //!< ring hops accumulated
+    };
+
+    /** Index of the dim-d ring containing @p node. */
+    std::uint32_t ringIndex(std::uint32_t d,
+                            net::NodeId node) const;
+
+    /** Launch the leg correcting dimension >= @p from_dim. */
+    void launchLeg(Pending pending, std::uint32_t from_dim);
+
+    void onLegDelivered(std::uint32_t d, std::uint32_t ring,
+                        const net::Message &pm);
+
+    void finish(Pending &pending, const net::Message &last_leg);
+
+    std::vector<std::uint32_t> dims_;
+    std::vector<std::uint32_t> stride_;
+    RmbConfig ringConfig_;
+    /** rings_[d][ringIndex] */
+    std::vector<std::vector<std::unique_ptr<RmbNetwork>>> rings_;
+    /** pending_[d][ringIndex]: ring message id -> state */
+    std::vector<std::vector<
+        std::unordered_map<net::MessageId, Pending>>>
+        pending_;
+    std::uint64_t multiLeg_ = 0;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_GRID_HH

@@ -1,0 +1,970 @@
+#include "rmb/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace core {
+
+namespace {
+
+/** Direction of input level @p lin as seen from output level @p lout. */
+SourceDir
+dirOf(Level lin, Level lout)
+{
+    if (lin == lout - 1)
+        return SourceDir::Below;
+    if (lin == lout)
+        return SourceDir::Straight;
+    if (lin == lout + 1)
+        return SourceDir::Above;
+    panic("input level ", lin, " not adjacent to output level ", lout);
+}
+
+} // namespace
+
+namespace {
+
+/** User-input validation; must run before any member construction. */
+const RmbConfig &
+validated(const RmbConfig &config)
+{
+    if (config.numNodes < 2)
+        fatal("RMB needs at least two nodes, got ", config.numNodes);
+    if (config.numBuses < 1)
+        fatal("RMB needs at least one bus, got ", config.numBuses);
+    if (config.cyclePeriodMin < 2 ||
+        config.cyclePeriodMin > config.cyclePeriodMax) {
+        fatal("bad cycle period range [", config.cyclePeriodMin,
+              ", ", config.cyclePeriodMax, "]");
+    }
+    if (config.headerHopDelay < 1 || config.ackHopDelay < 1 ||
+        config.flitDelay < 1) {
+        fatal("hop delays must be >= 1 tick");
+    }
+    if (config.retryBackoffMin < 1 ||
+        config.retryBackoffMin > config.retryBackoffMax) {
+        fatal("bad retry backoff range");
+    }
+    if (config.sendPorts < 1 || config.receivePorts < 1)
+        fatal("PEs need at least one send and one receive port");
+    return config;
+}
+
+} // namespace
+
+RmbNetwork::RmbNetwork(sim::Simulator &simulator,
+                       const RmbConfig &config)
+    : net::Network(simulator, "RMB(ring)", validated(config).numNodes),
+      config_(config), rng_(config.seed),
+      segments_(config.numNodes, config.numBuses),
+      pes_(config.numNodes), waiters_(config.numNodes)
+{
+    if (config_.numNodes % 2 != 0) {
+        warn("odd node count: the odd/even INC marking of section"
+             " 2.4 is imperfect on an odd ring (two adjacent INCs"
+             " share a parity); the DES serialization keeps the"
+             " protocol correct regardless");
+    }
+
+    incs_.reserve(config_.numNodes);
+    for (std::uint32_t i = 0; i < config_.numNodes; ++i) {
+        const sim::Tick period = rng_.uniformRange(
+            config_.cyclePeriodMin, config_.cyclePeriodMax);
+        incs_.push_back(std::make_unique<Inc>(i, period));
+    }
+    for (auto &inc : incs_)
+        inc->start(*this);
+}
+
+RmbNetwork::~RmbNetwork() = default;
+
+const Inc &
+RmbNetwork::leftOf(std::uint32_t i) const
+{
+    return *incs_[(i + config_.numNodes - 1) % config_.numNodes];
+}
+
+const Inc &
+RmbNetwork::rightOf(std::uint32_t i) const
+{
+    return *incs_[(i + 1) % config_.numNodes];
+}
+
+const VirtualBus *
+RmbNetwork::bus(VirtualBusId id) const
+{
+    auto it = buses_.find(id);
+    return it == buses_.end() ? nullptr : &it->second;
+}
+
+std::vector<VirtualBusId>
+RmbNetwork::liveBusIds() const
+{
+    std::vector<VirtualBusId> ids;
+    ids.reserve(buses_.size());
+    for (const auto &[id, bus] : buses_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+VirtualBus &
+RmbNetwork::busRef(VirtualBusId id)
+{
+    auto it = buses_.find(id);
+    rmb_assert(it != buses_.end(), "no live bus with id ", id);
+    return it->second;
+}
+
+net::MessageId
+RmbNetwork::send(net::NodeId src, net::NodeId dst,
+                 std::uint32_t payload_flits)
+{
+    net::Message &m = createMessage(src, dst, payload_flits);
+    pes_[src].sendQueue.push_back(m.id);
+    const net::MessageId id = m.id;
+    simulator().schedule(0, [this, src] { tryInject(src); });
+    return id;
+}
+
+MulticastId
+RmbNetwork::multicast(net::NodeId src,
+                      std::vector<net::NodeId> members,
+                      std::uint32_t payload_flits)
+{
+    rmb_assert(!members.empty(), "multicast needs members");
+    // The carrier's destination is the farthest member clockwise;
+    // every other member taps the virtual bus as flits pass it.
+    net::NodeId farthest = members.front();
+    std::uint32_t max_dist = 0;
+    for (net::NodeId member : members) {
+        rmb_assert(member < config_.numNodes, "member out of range");
+        rmb_assert(member != src, "the source cannot be a member");
+        const std::uint32_t d =
+            (member + config_.numNodes - src) % config_.numNodes;
+        if (d > max_dist) {
+            max_dist = d;
+            farthest = member;
+        }
+    }
+    const net::MessageId carrier =
+        send(src, farthest, payload_flits);
+
+    MulticastRecord record;
+    record.id = multicasts_.size() + 1;
+    record.carrier = carrier;
+    record.src = src;
+    record.members = std::move(members);
+    record.deliveredAt.assign(record.members.size(), 0);
+    multicasts_.push_back(std::move(record));
+    carrierToMulticast_[carrier] = multicasts_.back().id;
+    return multicasts_.back().id;
+}
+
+MulticastId
+RmbNetwork::broadcast(net::NodeId src, std::uint32_t payload_flits)
+{
+    std::vector<net::NodeId> members;
+    members.reserve(config_.numNodes - 1);
+    for (net::NodeId i = 1; i < config_.numNodes; ++i)
+        members.push_back(
+            static_cast<net::NodeId>((src + i) % config_.numNodes));
+    return multicast(src, std::move(members), payload_flits);
+}
+
+const MulticastRecord &
+RmbNetwork::multicastRecord(MulticastId id) const
+{
+    rmb_assert(id != 0 && id <= multicasts_.size(),
+               "unknown multicast id ", id);
+    return multicasts_[id - 1];
+}
+
+void
+RmbNetwork::finishMulticast(net::MessageId carrier)
+{
+    auto it = carrierToMulticast_.find(carrier);
+    if (it == carrierToMulticast_.end())
+        return;
+    MulticastRecord &record = multicasts_[it->second - 1];
+    const net::Message &m = message(carrier);
+    // Member j saw the last payload flit when the final flit passed
+    // it: established + (payload + FF + distance) * flitDelay.
+    for (std::size_t i = 0; i < record.members.size(); ++i) {
+        const std::uint32_t d =
+            (record.members[i] + config_.numNodes - record.src) %
+            config_.numNodes;
+        record.deliveredAt[i] =
+            m.established +
+            (static_cast<sim::Tick>(m.payloadFlits) + 1 + d) *
+                config_.flitDelay;
+        rmbStats_.multicastMemberLatency.add(static_cast<double>(
+            record.deliveredAt[i] - m.created));
+    }
+    record.complete = true;
+    ++rmbStats_.multicasts;
+}
+
+void
+RmbNetwork::tryInject(net::NodeId node)
+{
+    Pe &pe = pes_[node];
+    if (!pe.sendPortFree(config_.sendPorts) ||
+        pe.sendQueue.empty()) {
+        return;
+    }
+    if (simulator().now() < pe.backoffUntil)
+        return;
+
+    // Section 2.3: a new request may only be inserted at the top
+    // output port; if it is busy the header flit stays buffered.
+    const Level top = static_cast<Level>(config_.numBuses) - 1;
+    const GapId gap = node;
+    if (!segments_.isFree(gap, top))
+        return;
+
+    const net::MessageId mid = pe.sendQueue.front();
+    pe.sendQueue.pop_front();
+    pe.activeSends.push_back(mid);
+
+    net::Message &m = messageRef(mid);
+    if (m.state == net::MessageState::Queued)
+        noteFirstAttempt(m);
+    else
+        noteRetry(m);
+
+    const VirtualBusId bid = nextBusId_++;
+    VirtualBus &bus = buses_[bid];
+    bus.id = bid;
+    bus.message = mid;
+    bus.src = m.src;
+    bus.dst = m.dst;
+    bus.state = BusState::Advancing;
+    bus.injectedAt = simulator().now();
+    bus.headNode = (node + 1) % config_.numNodes;
+
+    segments_.occupy(gap, top, bid, simulator().now());
+    bus.hops.push_back(Hop{gap, top, kNoLevel, 0});
+    rmbStats_.liveBuses.adjust(simulator().now(), +1);
+
+    simulator().schedule(config_.headerHopDelay,
+                         [this, bid] { headerArrive(bid); });
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::headerArrive(VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::Advancing,
+               "header arrival on a non-advancing bus");
+    const net::NodeId here = bus.headNode;
+    if (here == bus.dst) {
+        Pe &pe = pes_[here];
+        if (pe.receivePortFree(config_.receivePorts)) {
+            acceptAtDestination(bus);
+        } else {
+            // Destination busy: Nack travels back tearing the
+            // virtual bus down; the source retries later.
+            noteNack(messageRef(bus.message));
+            startTeardown(bus, BusState::NackTeardown);
+        }
+        return;
+    }
+    tryAdvance(bus_id);
+}
+
+std::vector<Level>
+RmbNetwork::reachableLevels(const VirtualBus &bus) const
+{
+    const Hop &head = bus.hops.back();
+    const bool lowest_first =
+        config_.headerPolicy == HeaderPolicy::PreferLowest;
+    std::vector<Level> levels;
+    if (head.inMove()) {
+        // Mid-move the hop settles at dualLevel = level-1; only
+        // outputs legal from *both* the old and the new input level
+        // may be taken, which is exactly {level-1, level}.
+        levels = lowest_first
+                     ? std::vector<Level>{head.level - 1, head.level}
+                     : std::vector<Level>{head.level,
+                                          head.level - 1};
+    } else if (lowest_first) {
+        levels = {head.level - 1, head.level, head.level + 1};
+    } else {
+        levels = {head.level, head.level - 1, head.level + 1};
+    }
+    std::vector<Level> ok;
+    for (Level l : levels)
+        if (l >= 0 && l < static_cast<Level>(config_.numBuses))
+            ok.push_back(l);
+    return ok;
+}
+
+void
+RmbNetwork::tryAdvance(VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::Advancing ||
+                   bus.state == BusState::Blocked,
+               "tryAdvance on a bus in state ",
+               static_cast<int>(bus.state));
+    const net::NodeId here = bus.headNode;
+    const GapId gap = here;
+
+    Level chosen = kNoLevel;
+    for (Level l : reachableLevels(bus)) {
+        if (segments_.isFree(gap, l)) {
+            chosen = l;
+            break;
+        }
+    }
+
+    if (chosen != kNoLevel) {
+        if (bus.state == BusState::Blocked) {
+            rmbStats_.blockedTime.add(static_cast<double>(
+                simulator().now() - bus.blockedSince));
+            auto &q = waiters_[gap];
+            q.erase(std::remove(q.begin(), q.end(), bus_id),
+                    q.end());
+            bus.state = BusState::Advancing;
+        }
+        segments_.occupy(gap, chosen, bus_id, simulator().now());
+        bus.hops.push_back(Hop{gap, chosen, kNoLevel, 0});
+        bus.headNode = (here + 1) % config_.numNodes;
+        simulator().schedule(
+            config_.headerHopDelay,
+            [this, bus_id] { headerArrive(bus_id); });
+        checkAfterMutation();
+        return;
+    }
+
+    // No reachable free segment at this gap.
+    if (config_.blocking == BlockingPolicy::NackRetry) {
+        ++rmbStats_.blockedAborts;
+        startTeardown(bus, BusState::NackTeardown);
+        return;
+    }
+    if (bus.state != BusState::Blocked) {
+        bus.state = BusState::Blocked;
+        bus.blockedSince = simulator().now();
+        ++rmbStats_.blockedHeaders;
+        waiters_[gap].push_back(bus_id);
+        if (config_.headerTimeout > 0) {
+            const sim::Tick since = bus.blockedSince;
+            simulator().schedule(
+                config_.headerTimeout, [this, bus_id, since] {
+                    onHeaderTimeout(bus_id, since);
+                });
+        }
+        checkAfterMutation();
+    }
+}
+
+void
+RmbNetwork::onHeaderTimeout(VirtualBusId bus_id, sim::Tick since)
+{
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end())
+        return;
+    VirtualBus &bus = it->second;
+    if (bus.state != BusState::Blocked || bus.blockedSince != since)
+        return;
+    ++rmbStats_.timeoutAborts;
+    rmbStats_.blockedTime.add(
+        static_cast<double>(simulator().now() - bus.blockedSince));
+    auto &q = waiters_[bus.headNode];
+    q.erase(std::remove(q.begin(), q.end(), bus_id), q.end());
+    startTeardown(bus, BusState::NackTeardown);
+}
+
+void
+RmbNetwork::acceptAtDestination(VirtualBus &bus)
+{
+    Pe &pe = pes_[bus.dst];
+    pe.activeReceives.push_back(bus.message);
+    bus.state = BusState::AwaitHack;
+    const auto path =
+        static_cast<sim::Tick>(bus.hops.size());
+    rmb_assert(bus.hops.size() ==
+                   bus.pathLength(config_.numNodes),
+               "accepted bus spans ", bus.hops.size(),
+               " gaps, expected ",
+               bus.pathLength(config_.numNodes));
+    const VirtualBusId bid = bus.id;
+    simulator().schedule(path * config_.ackHopDelay,
+                         [this, bid] { hackArriveAtSource(bid); });
+}
+
+void
+RmbNetwork::hackArriveAtSource(VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::AwaitHack,
+               "Hack arrived on a bus in state ",
+               static_cast<int>(bus.state));
+    bus.state = BusState::Streaming;
+    noteEstablished(messageRef(bus.message));
+    noteCircuit(+1);
+
+    if (config_.detailedFlits) {
+        // Flit-by-flit with Dack window flow control; the first
+        // flit leaves one flitDelay after the Hack.
+        simulator().schedule(config_.flitDelay, [this, bus_id] {
+            departFlit(bus_id, 0);
+        });
+        return;
+    }
+
+    // Closed-form pipelined streaming: the source emits payload+FF
+    // flits one flitDelay apart; the last (final) flit drains
+    // through hops.size() stages.
+    const net::Message &m = message(bus.message);
+    const auto path = static_cast<sim::Tick>(bus.hops.size());
+    const sim::Tick duration =
+        (static_cast<sim::Tick>(m.payloadFlits) + 1) *
+            config_.flitDelay +
+        path * config_.flitDelay;
+    simulator().schedule(duration,
+                         [this, bus_id] { finalFlitArrive(bus_id); });
+}
+
+void
+RmbNetwork::departFlit(VirtualBusId bus_id, std::uint32_t seq)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::Streaming,
+               "flit departure on a non-streaming bus");
+    rmb_assert(seq == bus.flitsSent, "flits must depart in order");
+    const net::Message &m = message(bus.message);
+    rmb_assert(seq <= m.payloadFlits, "flit sequence overrun");
+
+    ++bus.flitsSent;
+    bus.lastFlitDepart = simulator().now();
+
+    // The circuit is dedicated, so the flit pipelines across the
+    // hops at one gap per flitDelay, undisturbed by compaction
+    // (flits ride the virtual bus, not a fixed physical level).
+    const auto path = static_cast<sim::Tick>(bus.hops.size());
+    simulator().schedule(path * config_.flitDelay,
+                         [this, bus_id, seq] {
+                             flitArriveAtDst(bus_id, seq);
+                         });
+
+    if (seq == m.payloadFlits)
+        return; // FF sent; the pump is done.
+
+    // Send the next flit one flitDelay later if the Dack window
+    // allows; otherwise stall until a Dack reopens it.
+    if (bus.flitsSent - bus.flitsAcked < config_.dackWindow) {
+        simulator().schedule(config_.flitDelay,
+                             [this, bus_id, seq] {
+                                 departFlit(bus_id, seq + 1);
+                             });
+    } else {
+        bus.pumpStalled = true;
+    }
+}
+
+void
+RmbNetwork::flitArriveAtDst(VirtualBusId bus_id, std::uint32_t seq)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::Streaming,
+               "flit arrival on a non-streaming bus");
+    // The paper's contiguity guarantee: flits arrive in order and
+    // gap-free.
+    rmb_assert(seq == bus.flitsAtDst,
+               "flit ", seq, " arrived out of order (expected ",
+               bus.flitsAtDst, ")");
+    rmb_assert(bus.flitsAtDst == 0 ||
+                   simulator().now() >=
+                       bus.lastFlitArrive + config_.flitDelay,
+               "flits bunched closer than the pipeline rate");
+    ++bus.flitsAtDst;
+    bus.lastFlitArrive = simulator().now();
+
+    const net::Message &m = message(bus.message);
+    if (seq == m.payloadFlits) {
+        finalFlitArrive(bus_id);
+        return;
+    }
+    // Dack returns along the virtual bus.
+    const auto path = static_cast<sim::Tick>(bus.hops.size());
+    simulator().schedule(path * config_.ackHopDelay,
+                         [this, bus_id] {
+                             dackArriveAtSource(bus_id);
+                         });
+}
+
+void
+RmbNetwork::dackArriveAtSource(VirtualBusId bus_id)
+{
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end())
+        return; // bus already torn down (Dacks may trail the FF)
+    VirtualBus &bus = it->second;
+    ++bus.flitsAcked;
+    ++rmbStats_.dacks;
+    if (bus.pumpStalled &&
+        bus.flitsSent - bus.flitsAcked < config_.dackWindow) {
+        bus.pumpStalled = false;
+        const sim::Tick next_depart =
+            bus.lastFlitDepart + config_.flitDelay;
+        const sim::Tick now = simulator().now();
+        const sim::Tick delay =
+            next_depart > now ? next_depart - now : 0;
+        const std::uint32_t seq = bus.flitsSent;
+        simulator().schedule(delay, [this, bus_id, seq] {
+            departFlit(bus_id, seq);
+        });
+    }
+}
+
+void
+RmbNetwork::finalFlitArrive(VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::Streaming,
+               "FF arrived on a non-streaming bus");
+    noteDelivered(messageRef(bus.message),
+                  static_cast<std::uint32_t>(bus.hops.size()));
+    noteCircuit(-1);
+    pes_[bus.dst].releaseReceive(bus.message);
+    finishMulticast(bus.message);
+    startTeardown(bus, BusState::FackTeardown);
+}
+
+void
+RmbNetwork::startTeardown(VirtualBus &bus, BusState kind)
+{
+    rmb_assert(kind == BusState::FackTeardown ||
+                   kind == BusState::NackTeardown,
+               "bad teardown kind");
+    bus.state = kind;
+    const VirtualBusId bid = bus.id;
+    simulator().schedule(config_.ackHopDelay,
+                         [this, bid] { teardownStep(bid); });
+}
+
+void
+RmbNetwork::teardownStep(VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    rmb_assert(bus.state == BusState::FackTeardown ||
+                   bus.state == BusState::NackTeardown,
+               "teardown step on a live bus");
+    rmb_assert(!bus.hops.empty(), "teardown of an empty bus");
+
+    // The Fack/Nack just crossed the head-most remaining hop; the
+    // INCs on both sides free its port(s).
+    Hop hop = bus.hops.back();
+    bus.hops.pop_back();
+    ++bus.hopsFreed;
+
+    if (!bus.hops.empty()) {
+        if (hop.inMove())
+            releaseSegment(bus, hop.gap, hop.dualLevel);
+        releaseSegment(bus, hop.gap, hop.level);
+        simulator().schedule(config_.ackHopDelay, [this, bus_id] {
+            teardownStep(bus_id);
+        });
+        checkAfterMutation();
+        return;
+    }
+    busFinished(bus_id, hop);
+}
+
+void
+RmbNetwork::busFinished(VirtualBusId bus_id, const Hop &last_hop)
+{
+    // Retire the bus *before* releasing its final (source-gap)
+    // segments: the release wakeups (blocked headers, pending
+    // injections) must never observe a live bus with no hops.
+    VirtualBus &bus = busRef(bus_id);
+    const net::NodeId src = bus.src;
+    const net::MessageId mid = bus.message;
+    const BusState kind = bus.state;
+    const sim::Tick injected_at = bus.injectedAt;
+    const bool top_released = bus.topReleased;
+    const sim::Tick now = simulator().now();
+    rmb_assert(last_hop.gap == bus.srcGap(),
+               "teardown must end at the source gap");
+    rmbStats_.liveBuses.adjust(now, -1);
+    buses_.erase(bus_id);
+
+    Pe &pe = pes_[src];
+    pe.releaseSend(mid);
+
+    // Retry bookkeeping precedes the wakeups so the backoff window
+    // is in place when segmentFreed pokes the source PE.
+    bool failed = false;
+    if (kind == BusState::NackTeardown) {
+        net::Message &m = messageRef(mid);
+        if (config_.maxRetries > 0 &&
+            m.retries >= config_.maxRetries) {
+            noteFailed(m);
+            failed = true;
+        } else {
+            pe.sendQueue.push_front(mid);
+            scheduleRetry(src, mid);
+        }
+    }
+    (void)failed;
+
+    const Level top = static_cast<Level>(config_.numBuses) - 1;
+    if (!top_released && last_hop.level == top) {
+        rmbStats_.topReleaseLatency.add(
+            static_cast<double>(now - injected_at));
+    }
+    if (last_hop.inMove()) {
+        segments_.release(last_hop.gap, last_hop.dualLevel, bus_id,
+                          now);
+        segmentFreed(last_hop.gap, last_hop.dualLevel);
+    }
+    segments_.release(last_hop.gap, last_hop.level, bus_id, now);
+    segmentFreed(last_hop.gap, last_hop.level);
+    tryInject(src);
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::scheduleRetry(net::NodeId node, net::MessageId msg)
+{
+    sim::Tick backoff = rng_.uniformRange(
+        config_.retryBackoffMin, config_.retryBackoffMax);
+    if (config_.exponentialBackoff) {
+        const std::uint32_t shift =
+            std::min(message(msg).retries, 16u);
+        if ((backoff << shift) >= config_.retryBackoffCap) {
+            // Keep the jitter when capping: a deterministic capped
+            // backoff phase-locks colliding senders into permanent
+            // livelock.
+            backoff = rng_.uniformRange(config_.retryBackoffCap / 2,
+                                        config_.retryBackoffCap);
+        } else {
+            backoff <<= shift;
+        }
+    }
+    Pe &pe = pes_[node];
+    pe.backoffUntil = simulator().now() + backoff;
+    simulator().schedule(backoff, [this, node] { tryInject(node); });
+}
+
+void
+RmbNetwork::releaseSegment(VirtualBus &bus, GapId gap, Level level)
+{
+    segments_.release(gap, level, bus.id, simulator().now());
+    if (!bus.topReleased && gap == bus.srcGap() &&
+        level == static_cast<Level>(config_.numBuses) - 1) {
+        bus.topReleased = true;
+        rmbStats_.topReleaseLatency.add(
+            static_cast<double>(simulator().now() - bus.injectedAt));
+    }
+    segmentFreed(gap, level);
+}
+
+void
+RmbNetwork::segmentFreed(GapId gap, Level level)
+{
+    // Wake blocked headers waiting at this gap (FIFO order).  A
+    // snapshot is used because tryAdvance edits the deque.
+    if (!waiters_[gap].empty()) {
+        std::vector<VirtualBusId> snapshot(waiters_[gap].begin(),
+                                           waiters_[gap].end());
+        for (VirtualBusId bid : snapshot) {
+            auto it = buses_.find(bid);
+            if (it == buses_.end())
+                continue;
+            if (it->second.state != BusState::Blocked)
+                continue;
+            if (!segments_.isFree(gap, level))
+                break; // the freed segment was taken
+            tryAdvance(bid);
+        }
+    }
+    // A freed top segment lets the local PE inject a queued request.
+    if (level == static_cast<Level>(config_.numBuses) - 1)
+        tryInject(gap);
+}
+
+// ----------------------------------------------------------------
+// Compaction (called from Inc)
+// ----------------------------------------------------------------
+
+bool
+RmbNetwork::hopMovable(const VirtualBus &bus,
+                       std::size_t hop_index) const
+{
+    if (bus.state == BusState::FackTeardown ||
+        bus.state == BusState::NackTeardown) {
+        return false;
+    }
+    const Hop &hop = bus.hops[hop_index];
+    if (hop.inMove() || hop.level <= 0)
+        return false;
+    if (!segments_.isFree(hop.gap, hop.level - 1))
+        return false;
+    // Figure 7's four conditions: both neighbouring hops (when they
+    // exist) must sit at level or level-1, and neither may itself be
+    // mid-move (the odd/even pairwise agreement serializes adjacent
+    // moves).
+    if (hop_index > 0) {
+        const Hop &prev = bus.hops[hop_index - 1];
+        if (prev.inMove())
+            return false;
+        if (prev.level != hop.level && prev.level != hop.level - 1)
+            return false;
+    }
+    if (hop_index + 1 < bus.hops.size()) {
+        const Hop &next = bus.hops[hop_index + 1];
+        if (next.inMove())
+            return false;
+        if (next.level != hop.level && next.level != hop.level - 1)
+            return false;
+    } else if (bus.state == BusState::Advancing) {
+        // The header flit is mid-flight beyond this hop; moving the
+        // segment right under it would shrink the header's reachable
+        // output set at the next INC ({l-1, l} instead of three
+        // levels) and provoke needless aborts.  The paper compacts
+        // "the virtual bus drawn behind" the header (section 2.2) -
+        // a *blocked* head hop still moves so a waiting header can
+        // sink toward the lowest free levels (Theorem 1).
+        return false;
+    }
+    return true;
+}
+
+std::vector<RmbNetwork::MoveRecord>
+RmbNetwork::makeEligibleMoves(GapId gap, int parity)
+{
+    std::vector<MoveRecord> out;
+    const auto k = static_cast<Level>(config_.numBuses);
+    for (Level l = 1; l < k; ++l) {
+        if ((l % 2) != parity)
+            continue;
+        const VirtualBusId bid = segments_.occupant(gap, l);
+        if (bid == kNoBus || bid == kFaultBus)
+            continue;
+        auto it = buses_.find(bid);
+        rmb_assert(it != buses_.end(),
+                   "segment held by a dead bus");
+        VirtualBus &bus = it->second;
+        // Locate the hop crossing this gap.
+        const auto idx = static_cast<std::size_t>(
+            (gap + config_.numNodes - bus.srcGap()) %
+            config_.numNodes);
+        if (idx >= bus.hops.size())
+            continue; // freed region of a tearing-down bus
+        Hop &hop = bus.hops[idx];
+        rmb_assert(hop.gap == gap, "hop/gap bookkeeping mismatch");
+        if (hop.level != l)
+            continue; // l is the dual target of a move in progress
+        if (!hopMovable(bus, idx))
+            continue;
+        // Make step: claim the lower segment; both segments carry
+        // the signal until the break step.
+        segments_.occupy(gap, l - 1, bid, simulator().now());
+        hop.dualLevel = l - 1;
+        ++hop.moveSeq;
+        out.push_back(MoveRecord{bid, gap, l, l - 1});
+    }
+    if (!out.empty())
+        checkAfterMutation();
+    return out;
+}
+
+void
+RmbNetwork::breakMoves(const std::vector<MoveRecord> &records)
+{
+    for (const MoveRecord &r : records) {
+        auto it = buses_.find(r.bus);
+        if (it == buses_.end())
+            continue; // torn down since the make step
+        VirtualBus &bus = it->second;
+        const auto idx = static_cast<std::size_t>(
+            (r.gap + config_.numNodes - bus.srcGap()) %
+            config_.numNodes);
+        if (idx >= bus.hops.size())
+            continue; // hop already freed by a travelling ack
+        Hop &hop = bus.hops[idx];
+        if (!hop.inMove() || hop.dualLevel != r.toLevel ||
+            hop.level != r.fromLevel) {
+            continue; // stale record
+        }
+        hop.level = r.toLevel;
+        hop.dualLevel = kNoLevel;
+        ++rmbStats_.compactionMoves;
+        releaseSegment(bus, r.gap, r.fromLevel);
+
+        // A blocked header whose input hop just moved down may now
+        // reach a lower (free) output level.
+        auto it2 = buses_.find(r.bus);
+        if (it2 != buses_.end() &&
+            it2->second.state == BusState::Blocked &&
+            idx + 1 == it2->second.hops.size()) {
+            tryAdvance(r.bus);
+        }
+    }
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::failSegment(GapId gap, Level level)
+{
+    segments_.markFaulty(gap, level, simulator().now());
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::noteCycleFlip(std::uint32_t inc_index)
+{
+    ++rmbStats_.cycleFlips;
+    const std::uint64_t mine = incs_[inc_index]->cycleCount();
+    for (const Inc *nb : {&leftOf(inc_index), &rightOf(inc_index)}) {
+        const std::uint64_t theirs = nb->cycleCount();
+        const std::uint64_t skew =
+            mine > theirs ? mine - theirs : theirs - mine;
+        rmbStats_.maxCycleSkew =
+            std::max(rmbStats_.maxCycleSkew, skew);
+        if (config_.verify != VerifyLevel::Off) {
+            rmb_assert(skew <= 1, "Lemma 1 violated: INC ",
+                       inc_index, " at cycle ", mine, ", neighbour ",
+                       nb->index(), " at ", theirs);
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Derived status registers and invariant auditing
+// ----------------------------------------------------------------
+
+std::uint8_t
+RmbNetwork::outputStatus(net::NodeId node, Level level,
+                         bool *pe_driven) const
+{
+    if (pe_driven)
+        *pe_driven = false;
+    const VirtualBusId bid = segments_.occupant(node, level);
+    if (bid == kNoBus || bid == kFaultBus)
+        return 0b000;
+    const VirtualBus *b = bus(bid);
+    rmb_assert(b, "segment held by a dead bus");
+    const auto idx = static_cast<std::size_t>(
+        (node + config_.numNodes - b->srcGap()) % config_.numNodes);
+    rmb_assert(idx < b->hops.size(), "occupant hop out of range");
+
+    if (idx == 0) {
+        // Source hop: the PE write port drives this output; Table 1
+        // does not model PE sources.
+        if (pe_driven)
+            *pe_driven = true;
+        return 0b000;
+    }
+
+    const Hop &prev = b->hops[idx - 1];
+    StatusRegister reg;
+    if (prev.inMove()) {
+        // Input mid-move: both the old and the new input level drive
+        // this output (the documented 011/110 dual codes).
+        reg.connect(dirOf(prev.level, level));
+        reg.connect(dirOf(prev.dualLevel, level));
+    } else {
+        reg.connect(dirOf(prev.level, level));
+    }
+    return reg.bits();
+}
+
+void
+RmbNetwork::checkAfterMutation() const
+{
+    if (config_.verify == VerifyLevel::Full)
+        auditInvariants();
+}
+
+void
+RmbNetwork::auditInvariants() const
+{
+    const auto n = config_.numNodes;
+    const auto k = static_cast<Level>(config_.numBuses);
+
+    // Every hop's claim must match the grid, and vice versa.
+    std::uint64_t claimed = 0;
+    for (const auto &[id, bus] : buses_) {
+        rmb_assert(!bus.hops.empty(), "live bus ", id,
+                   " with no hops");
+        rmb_assert(bus.hops.size() + bus.hopsFreed <=
+                       bus.pathLength(n),
+                   "bus ", id, " longer than its path");
+        for (std::size_t i = 0; i < bus.hops.size(); ++i) {
+            const Hop &hop = bus.hops[i];
+            rmb_assert(hop.gap ==
+                           (bus.srcGap() + i) % n,
+                       "bus ", id, " hop ", i, " at wrong gap");
+            rmb_assert(hop.level >= 0 && hop.level < k,
+                       "bus ", id, " level out of range");
+            rmb_assert(segments_.occupant(hop.gap, hop.level) == id,
+                       "grid does not record bus ", id, " at (",
+                       hop.gap, ",", hop.level, ")");
+            ++claimed;
+            if (hop.inMove()) {
+                rmb_assert(hop.dualLevel == hop.level - 1,
+                           "moves must go exactly one level down");
+                rmb_assert(segments_.occupant(hop.gap,
+                                              hop.dualLevel) == id,
+                           "dual segment not recorded");
+                ++claimed;
+            }
+            if (i > 0) {
+                const Hop &prev = bus.hops[i - 1];
+                rmb_assert(!(prev.inMove() && hop.inMove()),
+                           "adjacent hops of bus ", id,
+                           " moving concurrently");
+                // Electrical connectivity: every live level pair of
+                // adjacent hops must be within one level.
+                for (Level a : {prev.level, prev.dualLevel}) {
+                    if (a == kNoLevel)
+                        continue;
+                    for (Level b : {hop.level, hop.dualLevel}) {
+                        if (b == kNoLevel)
+                            continue;
+                        rmb_assert(a - b <= 1 && b - a <= 1,
+                                   "bus ", id, " kinked at gap ",
+                                   hop.gap, ": levels ", a, " -> ",
+                                   b);
+                    }
+                }
+            }
+        }
+        // Circuit-complete states must span the whole path.
+        if (bus.state == BusState::AwaitHack ||
+            bus.state == BusState::Streaming) {
+            rmb_assert(bus.hops.size() == bus.pathLength(n),
+                       "established bus ", id,
+                       " does not span its path");
+        }
+        if (bus.state == BusState::Blocked) {
+            const auto &q = waiters_[bus.headNode];
+            rmb_assert(std::find(q.begin(), q.end(), id) != q.end(),
+                       "blocked bus ", id, " missing from waiter"
+                       " list");
+        }
+    }
+    // occupiedCount() counts bus-owned cells only; faulted cells
+    // are tracked separately by faultyCount().
+    rmb_assert(claimed == segments_.occupiedCount(),
+               "grid claims ", segments_.occupiedCount(),
+               " segments but buses own ", claimed, " (plus ",
+               segments_.faultyCount(), " faulted)");
+
+    // Derived Table-1 codes must all be legal (outputStatus panics
+    // internally if not).
+    for (net::NodeId node = 0; node < n; ++node)
+        for (Level l = 0; l < k; ++l)
+            (void)outputStatus(node, l);
+}
+
+} // namespace core
+} // namespace rmb

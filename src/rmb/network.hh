@@ -1,0 +1,245 @@
+/**
+ * @file
+ * RmbNetwork: the public entry point to the reconfigurable multiple
+ * bus simulation.
+ *
+ * Assembles N INCs and PEs around the N x k segment grid and runs the
+ * full protocol of paper section 2: top-bus injection, header
+ * propagation with Hack/Nack, pipelined data streaming, Fack
+ * teardown, and the systolic compaction that continuously moves
+ * virtual buses to the lowest free segments.
+ */
+
+#ifndef RMB_RMB_NETWORK_HH
+#define RMB_RMB_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/network.hh"
+#include "rmb/config.hh"
+#include "rmb/inc.hh"
+#include "rmb/pe.hh"
+#include "rmb/segment_table.hh"
+#include "rmb/status_register.hh"
+#include "rmb/types.hh"
+#include "rmb/virtual_bus.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace rmb {
+namespace core {
+
+/** RMB-specific counters beyond the common NetworkStats. */
+struct RmbStats
+{
+    /** Completed downward moves (break steps). */
+    std::uint64_t compactionMoves = 0;
+    /** Headers that entered the Blocked state. */
+    std::uint64_t blockedHeaders = 0;
+    /** Partial buses torn down under BlockingPolicy::NackRetry. */
+    std::uint64_t blockedAborts = 0;
+    /** Partial buses torn down by the Wait-mode header timeout. */
+    std::uint64_t timeoutAborts = 0;
+    /** Total odd/even cycle flips across all INCs. */
+    std::uint64_t cycleFlips = 0;
+    /** Data-flit acknowledgements delivered (detailed mode). */
+    std::uint64_t dacks = 0;
+    /** Largest |cycleCount(i) - cycleCount(i+1)| ever observed. */
+    std::uint64_t maxCycleSkew = 0;
+
+    /** Multicast/broadcast groups completed. */
+    std::uint64_t multicasts = 0;
+
+    /** Injection -> the source's top segment is free again. */
+    sim::SampleStat topReleaseLatency;
+
+    /** Creation -> per-member delivery over all multicast members. */
+    sim::SampleStat multicastMemberLatency;
+    /** Time headers spent in the Blocked state. */
+    sim::SampleStat blockedTime;
+    /** Live virtual buses (injection .. teardown complete). */
+    sim::LevelTracker liveBuses;
+};
+
+/** Id of a multicast/broadcast group (1-based, per network). */
+using MulticastId = std::uint64_t;
+
+/**
+ * One multicast (or broadcast) delivery: a single virtual bus spans
+ * from the source to the farthest member; the other members tap the
+ * bus as the flits stream past (the paper's section-1 extension,
+ * using the section-2.1 "enhanced" PE interface so taps do not
+ * occupy receive ports).
+ */
+struct MulticastRecord
+{
+    MulticastId id = 0;
+    net::MessageId carrier = net::kNoMessage;
+    net::NodeId src = 0;
+    /** Member nodes (excludes the source). */
+    std::vector<net::NodeId> members;
+    /** Tick each member saw the final payload flit; parallel to
+     *  members, 0 until the group completes. */
+    std::vector<sim::Tick> deliveredAt;
+    bool complete = false;
+};
+
+/**
+ * The RMB network.  See RmbConfig for tunables; see net::Network for
+ * the send/stats interface shared with the baselines.
+ */
+class RmbNetwork : public net::Network
+{
+  public:
+    RmbNetwork(sim::Simulator &simulator, const RmbConfig &config);
+    ~RmbNetwork() override;
+
+    net::MessageId send(net::NodeId src, net::NodeId dst,
+                        std::uint32_t payload_flits) override;
+
+    /**
+     * Deliver @p payload_flits to every node in @p members over one
+     * virtual bus spanning to the farthest member (clockwise);
+     * intermediate members snoop the passing flits.
+     * @return a group id for multicastRecord().
+     */
+    MulticastId multicast(net::NodeId src,
+                          std::vector<net::NodeId> members,
+                          std::uint32_t payload_flits);
+
+    /** Multicast to every other node (full-ring virtual bus). */
+    MulticastId broadcast(net::NodeId src,
+                          std::uint32_t payload_flits);
+
+    /** Look up a multicast group's record. */
+    const MulticastRecord &multicastRecord(MulticastId id) const;
+
+    const RmbConfig &config() const { return config_; }
+    const RmbStats &rmbStats() const { return rmbStats_; }
+    const SegmentTable &segments() const { return segments_; }
+    const Inc &inc(std::uint32_t i) const { return *incs_[i]; }
+
+    /** Live virtual bus by id; nullptr if it no longer exists. */
+    const VirtualBus *bus(VirtualBusId id) const;
+
+    /** Ids of all live virtual buses (ascending). */
+    std::vector<VirtualBusId> liveBusIds() const;
+
+    /**
+     * Derived Table-1 status code of INC @p node's output port at
+     * @p level, reconstructed from the virtual-bus structures (the
+     * simulator's source of truth); panics if the electrical state
+     * would be an illegal code.  PE-driven ports report Straight
+     * sources the paper's table does not model and are flagged via
+     * @p pe_driven.
+     */
+    std::uint8_t outputStatus(net::NodeId node, Level level,
+                              bool *pe_driven = nullptr) const;
+
+    /**
+     * Fault injection: permanently disable the physical segment at
+     * (@p gap, @p level).  The segment must currently be free.  The
+     * protocol routes and compacts around faulted segments; note
+     * that faulting a gap's *top* segment disables injection at
+     * that node, and faulting all k levels of a gap partitions the
+     * (one-way) ring.
+     */
+    void failSegment(GapId gap, Level level);
+
+    /** Run every structural invariant check now (any VerifyLevel). */
+    void auditInvariants() const;
+
+    // ------------------------------------------------------------
+    // Internal interface used by Inc (compaction engine).  Not part
+    // of the public API.
+    // ------------------------------------------------------------
+
+    /** A make-step record handed back to the break step. */
+    struct MoveRecord
+    {
+        VirtualBusId bus;
+        GapId gap;
+        Level fromLevel;
+        Level toLevel;
+    };
+
+    /**
+     * Execute the make step of every eligible move at @p gap for bus
+     * levels of @p parity; returns the records the caller must pass
+     * to breakMoves() half a cycle later.
+     */
+    std::vector<MoveRecord> makeEligibleMoves(GapId gap, int parity);
+
+    /** Execute the break step for records produced by make. */
+    void breakMoves(const std::vector<MoveRecord> &records);
+
+    /** Lemma-1 bookkeeping: called by an Inc on every cycle flip. */
+    void noteCycleFlip(std::uint32_t inc_index);
+
+    /** Neighbour flag access for the cycle FSMs. */
+    const Inc &leftOf(std::uint32_t i) const;
+    const Inc &rightOf(std::uint32_t i) const;
+
+    /** RNG stream (backoff jitter). */
+    sim::Random &rng() { return rng_; }
+
+  private:
+    // --- protocol steps (all take the bus id; the bus may die) ---
+    void tryInject(net::NodeId node);
+    void headerArrive(VirtualBusId bus_id);
+    void tryAdvance(VirtualBusId bus_id);
+    void acceptAtDestination(VirtualBus &bus);
+    void hackArriveAtSource(VirtualBusId bus_id);
+    void finalFlitArrive(VirtualBusId bus_id);
+    // Detailed flit-level streaming (Dack flow control).
+    void departFlit(VirtualBusId bus_id, std::uint32_t seq);
+    void flitArriveAtDst(VirtualBusId bus_id, std::uint32_t seq);
+    void dackArriveAtSource(VirtualBusId bus_id);
+    void startTeardown(VirtualBus &bus, BusState kind);
+    void teardownStep(VirtualBusId bus_id);
+    void finishMulticast(net::MessageId carrier);
+    void busFinished(VirtualBusId bus_id, const Hop &last_hop);
+    void scheduleRetry(net::NodeId node, net::MessageId msg);
+    void onHeaderTimeout(VirtualBusId bus_id, sim::Tick since);
+
+    /** Free one segment and dispatch wakeups. */
+    void releaseSegment(VirtualBus &bus, GapId gap, Level level);
+    void segmentFreed(GapId gap, Level level);
+
+    /** Output levels reachable from the head hop of @p bus. */
+    std::vector<Level> reachableLevels(const VirtualBus &bus) const;
+
+    /** Eligibility of one hop for a downward move (Figure 7). */
+    bool hopMovable(const VirtualBus &bus, std::size_t hop_index)
+        const;
+
+    VirtualBus &busRef(VirtualBusId id);
+
+    void checkAfterMutation() const;
+
+    RmbConfig config_;
+    sim::Random rng_;
+    SegmentTable segments_;
+    std::vector<std::unique_ptr<Inc>> incs_;
+    std::vector<Pe> pes_;
+    std::unordered_map<VirtualBusId, VirtualBus> buses_;
+    VirtualBusId nextBusId_ = 1;
+
+    /** Blocked buses waiting for a segment per gap, FIFO. */
+    std::vector<std::deque<VirtualBusId>> waiters_;
+
+    std::vector<MulticastRecord> multicasts_;
+    std::unordered_map<net::MessageId, MulticastId>
+        carrierToMulticast_;
+
+    RmbStats rmbStats_;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_NETWORK_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-node processing-element state.
+ *
+ * The paper's PE <-> INC interface allows one active send and one
+ * active receive per node (section 2.1).  The PE side is pure state:
+ * an injection FIFO plus the two port flags; the protocol logic lives
+ * in RmbNetwork.
+ */
+
+#ifndef RMB_RMB_PE_HH
+#define RMB_RMB_PE_HH
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "netbase/message.hh"
+#include "rmb/types.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace core {
+
+/**
+ * Injection queue and port state of one processing element.
+ *
+ * The paper's base interface has one send and one receive port
+ * (section 2.1); it also notes the interface can "be enhanced to
+ * permit the PE to talk concurrently with multiple inputs and
+ * outputs", which RmbConfig::sendPorts / receivePorts model.
+ */
+struct Pe
+{
+    /** Messages waiting to be injected, FIFO.  Retries re-enter at
+     *  the front so a Nacked message keeps its place. */
+    std::deque<net::MessageId> sendQueue;
+
+    /** Messages currently owning send ports. */
+    std::vector<net::MessageId> activeSends;
+
+    /** Messages currently owning receive ports. */
+    std::vector<net::MessageId> activeReceives;
+
+    /** Earliest tick the next injection attempt may happen
+     *  (retry backoff). */
+    sim::Tick backoffUntil = 0;
+
+    bool
+    sendPortFree(std::uint32_t ports) const
+    {
+        return activeSends.size() < ports;
+    }
+
+    bool
+    receivePortFree(std::uint32_t ports) const
+    {
+        return activeReceives.size() < ports;
+    }
+
+    void
+    releaseSend(net::MessageId id)
+    {
+        auto it = std::find(activeSends.begin(), activeSends.end(),
+                            id);
+        rmb_assert(it != activeSends.end(),
+                   "message ", id, " does not own a send port");
+        activeSends.erase(it);
+    }
+
+    void
+    releaseReceive(net::MessageId id)
+    {
+        auto it = std::find(activeReceives.begin(),
+                            activeReceives.end(), id);
+        rmb_assert(it != activeReceives.end(),
+                   "message ", id, " does not own a receive port");
+        activeReceives.erase(it);
+    }
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_PE_HH

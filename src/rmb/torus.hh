@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A 2-D grid of RMB rings (paper section 4: "the design of
+ * reconfigurable multiple bus systems for 2- and 3-D grid connected
+ * computers"; section 1 likewise proposes using the ring-based
+ * system as a module of larger topologies).
+ *
+ * This is the two-dimensional special case of RmbGridNetwork with
+ * the conventional row/column vocabulary: node (x, y) has id
+ * y*W + x, belongs to row ring y and column ring x, and routes row
+ * leg first (dimension order) with store-and-forward at the corner.
+ */
+
+#ifndef RMB_RMB_TORUS_HH
+#define RMB_RMB_TORUS_HH
+
+#include <cstdint>
+
+#include "rmb/grid.hh"
+
+namespace rmb {
+namespace core {
+
+/** W x H torus of RMB rings. */
+class RmbTorusNetwork : public RmbGridNetwork
+{
+  public:
+    /**
+     * @param config applies to every row and column ring; its
+     *        numNodes field is ignored (rings get W or H nodes).
+     */
+    RmbTorusNetwork(sim::Simulator &simulator, std::uint32_t width,
+                    std::uint32_t height, const RmbConfig &config)
+        : RmbGridNetwork(simulator, {width, height}, config,
+                         "RMB(torus)")
+    {}
+
+    std::uint32_t width() const { return dimExtent(0); }
+    std::uint32_t height() const { return dimExtent(1); }
+
+    /** The ring spanning row @p y (x = 0..W-1). */
+    const RmbNetwork &
+    rowRing(std::uint32_t y) const
+    {
+        return lineRing(0, y * width());
+    }
+
+    /** The ring spanning column @p x (y = 0..H-1). */
+    const RmbNetwork &
+    columnRing(std::uint32_t x) const
+    {
+        return lineRing(1, x);
+    }
+
+    /** Messages that needed two legs (row + column). */
+    std::uint64_t cornerTurns() const { return multiLegMessages(); }
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_TORUS_HH

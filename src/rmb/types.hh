@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Core identifiers and enums of the RMB model.
+ *
+ * Geometry: N nodes on a ring, k physical bus segments between each
+ * pair of adjacent nodes.  "Gap g" names the bundle of k segments
+ * between node g and node (g+1) mod N; "level l" in [0, k) names one
+ * segment within a gap, level k-1 being the *top* bus where new
+ * requests are injected (paper section 2.2).
+ */
+
+#ifndef RMB_RMB_TYPES_HH
+#define RMB_RMB_TYPES_HH
+
+#include <cstdint>
+
+#include "netbase/message.hh"
+
+namespace rmb {
+namespace core {
+
+/** Index of the inter-node gap between node g and node g+1 (mod N). */
+using GapId = std::uint32_t;
+
+/** Bus level within a gap; 0 = bottom, k-1 = top (injection) bus. */
+using Level = std::int32_t;
+
+/** Sentinel for "no level". */
+constexpr Level kNoLevel = -1;
+
+/** Unique id of a virtual bus (one per message attempt lifetime). */
+using VirtualBusId = std::uint64_t;
+
+/** Sentinel for "no virtual bus". */
+constexpr VirtualBusId kNoBus = 0;
+
+/** Sentinel occupant of a permanently failed bus segment. */
+constexpr VirtualBusId kFaultBus = ~VirtualBusId{0};
+
+/**
+ * What a blocked header flit does when no reachable output segment is
+ * free at an intermediate INC.
+ */
+enum class BlockingPolicy : std::uint8_t
+{
+    /**
+     * Hold the partial virtual bus and wait for compaction or a
+     * teardown to free a reachable segment (wormhole-style blocking).
+     */
+    Wait,
+    /**
+     * Tear the partial virtual bus down (as if Nacked) and retry
+     * later from the source; keeps the network trivially
+     * deadlock-free and matches Theorem 1's "provided if available"
+     * reading.
+     */
+    NackRetry,
+};
+
+/**
+ * Which output level an advancing header flit prefers at each INC
+ * (among the legal {l-1, l, l+1} from its input level l).
+ */
+enum class HeaderPolicy : std::uint8_t
+{
+    /**
+     * Take the lowest free reachable level (eager descent): the
+     * header pre-compacts its own path one level per hop.  This is
+     * the engineering reading of "make use of only the lowest
+     * physical free bus segments".
+     */
+    PreferLowest,
+    /**
+     * Stay at the current level when free (top-bus propagation, the
+     * paper's literal Figure-3 description), then try below, then
+     * above; the compaction protocol alone sinks the circuit later.
+     */
+    PreferStraight,
+};
+
+/** How much invariant checking the network performs while running. */
+enum class VerifyLevel : std::uint8_t
+{
+    Off,    //!< no checks (large benches)
+    Cheap,  //!< O(1) checks on each mutation
+    Full,   //!< full-structure audit on each mutation (tests)
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_TYPES_HH

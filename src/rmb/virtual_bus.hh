@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A virtual bus: the chain of physical bus segments carrying one
+ * message (paper section 2.2, Figure 2).
+ */
+
+#ifndef RMB_RMB_VIRTUAL_BUS_HH
+#define RMB_RMB_VIRTUAL_BUS_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "netbase/message.hh"
+#include "rmb/types.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace core {
+
+/**
+ * One hop of a virtual bus: the physical segment it occupies in one
+ * gap.  During a make-before-break downward move the hop briefly owns
+ * two segments: `level` (the old, upper one) and `dualLevel` (the
+ * new, lower one); outside a move dualLevel == kNoLevel.
+ */
+struct Hop
+{
+    GapId gap = 0;
+    Level level = kNoLevel;
+    Level dualLevel = kNoLevel;
+    /** Increments on every move; stale break events check it. */
+    std::uint32_t moveSeq = 0;
+
+    bool inMove() const { return dualLevel != kNoLevel; }
+
+    /** The level the hop will sit at once any in-flight move ends. */
+    Level
+    settledLevel() const
+    {
+        return inMove() ? dualLevel : level;
+    }
+};
+
+/** Protocol state of a virtual bus. */
+enum class BusState : std::uint8_t
+{
+    Advancing,   //!< header flit moving toward the destination
+    Blocked,     //!< header waiting for a free reachable segment
+    AwaitHack,   //!< header accepted; Hack travelling back to source
+    Streaming,   //!< data flits flowing
+    FackTeardown, //!< FF delivered; Fack freeing hops back to source
+    NackTeardown, //!< refused/aborted; Nack freeing hops to source
+};
+
+/**
+ * Bookkeeping for one live virtual bus.  The hop deque is ordered
+ * from the source gap to the head gap.
+ */
+struct VirtualBus
+{
+    VirtualBusId id = kNoBus;
+    net::MessageId message = net::kNoMessage;
+    net::NodeId src = 0;
+    net::NodeId dst = 0;
+    BusState state = BusState::Advancing;
+
+    std::deque<Hop> hops;
+
+    /** Node the header flit currently sits at (or is travelling to). */
+    net::NodeId headNode = 0;
+
+    /** Gaps already freed by a travelling Fack/Nack (from the head). */
+    std::uint32_t hopsFreed = 0;
+
+    sim::Tick injectedAt = 0;
+    /** Tick the header became blocked (for the optional timeout). */
+    sim::Tick blockedSince = 0;
+    /** True once the (source gap, top) segment released (stats). */
+    bool topReleased = false;
+
+    /**
+     * Detailed flit-level streaming state (RmbConfig::detailedFlits).
+     * Flit sequence numbers run 0..payload, the last one being the
+     * final flit (FF).
+     */
+    std::uint32_t flitsSent = 0;     //!< departures so far
+    std::uint32_t flitsAcked = 0;    //!< Dacks received at the source
+    std::uint32_t flitsAtDst = 0;    //!< in-order arrivals at the dst
+    sim::Tick lastFlitDepart = 0;    //!< tick of the last departure
+    sim::Tick lastFlitArrive = 0;    //!< tick of the last dst arrival
+    bool pumpStalled = false;        //!< window closed, pump paused
+
+    /** The gap the source PE injects on. */
+    GapId srcGap() const { return src; }
+
+    /** Whole clockwise path length in gaps. */
+    std::uint32_t
+    pathLength(net::NodeId n) const
+    {
+        return (dst + n - src) % n;
+    }
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_VIRTUAL_BUS_HH

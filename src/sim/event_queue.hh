@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The discrete-event queue underlying every simulation in this
+ * repository.
+ *
+ * Events are arbitrary callables scheduled at absolute ticks.  Events
+ * scheduled for the same tick fire in scheduling order (a stable FIFO
+ * within a tick), which keeps simulations deterministic for a given
+ * seed.  Events can be cancelled through the handle returned at
+ * scheduling time.
+ */
+
+#ifndef RMB_SIM_EVENT_QUEUE_HH
+#define RMB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rmb {
+namespace sim {
+
+/** Identifies a scheduled event so it can be cancelled. */
+using EventId = std::uint64_t;
+
+/** An event id that is never allocated. */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Time-ordered queue of callbacks.  Not thread safe; the entire
+ * simulator is single threaded by design.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to fire at absolute time @p when. */
+    EventId schedule(Tick when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already fired, was already cancelled, or the
+     *         id is invalid.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if no live (non-cancelled) events remain. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Number of live pending events. */
+    std::uint64_t size() const { return pending_.size(); }
+
+    /** Tick of the earliest live event; kMaxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and run the earliest live event.  Must not be called on an
+     * empty queue.
+     * @return the tick the event fired at.
+     */
+    Tick runOne();
+
+    /** Total number of events executed so far. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;   //!< tie-break: FIFO within a tick
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the head of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t numExecuted_ = 0;
+};
+
+} // namespace sim
+} // namespace rmb
+
+#endif // RMB_SIM_EVENT_QUEUE_HH

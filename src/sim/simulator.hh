@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The simulation driver: owns the clock and the event queue.
+ */
+
+#ifndef RMB_SIM_SIMULATOR_HH
+#define RMB_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace sim {
+
+/**
+ * Single-threaded discrete-event simulator.
+ *
+ * Components keep a reference to the Simulator, schedule work with
+ * schedule()/scheduleAt(), and read the current time with now().  The
+ * owner drives the simulation with run(), runUntil() or runFor().
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    schedule(Tick delay, EventQueue::Callback cb)
+    {
+        return events_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    EventId scheduleAt(Tick when, EventQueue::Callback cb);
+
+    /** Cancel a pending event; see EventQueue::cancel. */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /**
+     * Run until the event queue drains or @p max_events fire.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /**
+     * Run all events with tick <= @p until; afterwards now() == until
+     * even if the queue drained early.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Run for @p duration ticks from the current time. */
+    std::uint64_t runFor(Tick duration) {
+        return runUntil(now_ + duration);
+    }
+
+    /** @return true once no live events remain. */
+    bool idle() const { return events_.empty(); }
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t numExecuted() const { return events_.numExecuted(); }
+
+    /** Direct queue access (tests and advanced schedulers). */
+    EventQueue &eventQueue() { return events_; }
+
+  private:
+    EventQueue events_;
+    Tick now_ = 0;
+};
+
+} // namespace sim
+} // namespace rmb
+
+#endif // RMB_SIM_SIMULATOR_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fundamental simulation types.
+ */
+
+#ifndef RMB_SIM_TYPES_HH
+#define RMB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rmb {
+namespace sim {
+
+/** Simulated time, in abstract ticks. */
+using Tick = std::uint64_t;
+
+/** A tick value that no event will ever reach. */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+} // namespace sim
+} // namespace rmb
+
+#endif // RMB_SIM_TYPES_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload drivers: run a traffic set against any net::Network and
+ * report the measurements the benches print.
+ */
+
+#ifndef RMB_WORKLOAD_DRIVER_HH
+#define RMB_WORKLOAD_DRIVER_HH
+
+#include <cstdint>
+
+#include "netbase/network.hh"
+#include "workload/permutation.hh"
+#include "workload/traffic.hh"
+
+namespace rmb {
+namespace workload {
+
+/** Outcome of a closed batch (e.g. one permutation). */
+struct BatchResult
+{
+    bool completed = false;       //!< all messages delivered in time
+    sim::Tick makespan = 0;       //!< first injection -> last delivery
+    std::uint64_t delivered = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t retries = 0;
+    double meanLatency = 0.0;
+    double maxLatency = 0.0;
+    double meanSetupLatency = 0.0;
+};
+
+/**
+ * Inject every (src, dst) pair at the current simulated time, each
+ * carrying @p payload_flits data flits, and run until the network is
+ * quiescent or @p timeout simulated ticks elapse.
+ *
+ * The network is used as-is (its prior statistics are included in its
+ * own counters but the returned BatchResult covers only this batch).
+ */
+BatchResult runBatch(net::Network &network, const PairList &pairs,
+                     std::uint32_t payload_flits,
+                     sim::Tick timeout = 10'000'000);
+
+/** Outcome of an open-loop (rate-driven) run. */
+struct OpenLoopResult
+{
+    double offeredLoad = 0.0;     //!< messages/node/tick requested
+    double throughput = 0.0;      //!< delivered messages/node/tick
+    double meanLatency = 0.0;
+    double p95Latency = 0.0;
+    double maxLatency = 0.0;
+    double meanSetupLatency = 0.0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t nacks = 0;
+};
+
+/**
+ * Open-loop run: every node generates messages as a Bernoulli process
+ * of rate @p rate (messages per node per tick, so flit load is
+ * rate * (payload + overhead)), destinations drawn from @p pattern,
+ * for @p duration ticks of generation followed by a drain phase of at
+ * most @p drain ticks.  Statistics cover messages created after
+ * @p warmup.
+ */
+OpenLoopResult runOpenLoop(net::Network &network,
+                           TrafficPattern &pattern, double rate,
+                           std::uint32_t payload_flits,
+                           sim::Tick duration, sim::Random &rng,
+                           sim::Tick warmup = 0,
+                           sim::Tick drain = 1'000'000);
+
+} // namespace workload
+} // namespace rmb
+
+#endif // RMB_WORKLOAD_DRIVER_HH

@@ -1,0 +1,134 @@
+#include "workload/kernels.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "workload/driver.hh"
+
+namespace rmb {
+namespace workload {
+
+std::size_t
+Kernel::numMessages() const
+{
+    std::size_t total = 0;
+    for (const KernelPhase &phase : phases)
+        total += phase.pairs.size();
+    return total;
+}
+
+Kernel
+butterflyKernel(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "butterfly needs N = 2^m");
+    Kernel kernel;
+    kernel.name = "butterfly";
+    for (std::uint32_t s = 0; (1u << s) < n; ++s) {
+        KernelPhase phase;
+        for (net::NodeId i = 0; i < n; ++i)
+            phase.pairs.emplace_back(i, i ^ (1u << s));
+        kernel.phases.push_back(std::move(phase));
+    }
+    return kernel;
+}
+
+Kernel
+allToAllKernel(net::NodeId n)
+{
+    Kernel kernel;
+    kernel.name = "all-to-all";
+    for (net::NodeId s = 1; s < n; ++s) {
+        KernelPhase phase;
+        for (net::NodeId i = 0; i < n; ++i)
+            phase.pairs.emplace_back(
+                i, static_cast<net::NodeId>((i + s) % n));
+        kernel.phases.push_back(std::move(phase));
+    }
+    return kernel;
+}
+
+Kernel
+stencilKernel(net::NodeId n, std::uint32_t iterations)
+{
+    rmb_assert(n >= 3, "stencil needs N >= 3");
+    Kernel kernel;
+    kernel.name = "stencil";
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+        KernelPhase phase;
+        for (net::NodeId i = 0; i < n; ++i) {
+            phase.pairs.emplace_back(
+                i, static_cast<net::NodeId>((i + 1) % n));
+            phase.pairs.emplace_back(
+                i, static_cast<net::NodeId>((i + n - 1) % n));
+        }
+        kernel.phases.push_back(std::move(phase));
+    }
+    return kernel;
+}
+
+Kernel
+reductionKernel(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "reduction needs N = 2^m");
+    Kernel kernel;
+    kernel.name = "reduction";
+    for (std::uint32_t s = 0; (1u << s) < n; ++s) {
+        KernelPhase phase;
+        const std::uint32_t step = 1u << s;
+        for (net::NodeId i = step; i < n; i += 2 * step)
+            phase.pairs.emplace_back(
+                i, static_cast<net::NodeId>(i - step));
+        kernel.phases.push_back(std::move(phase));
+    }
+    return kernel;
+}
+
+Kernel
+prefixKernel(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "prefix needs N = 2^m");
+    Kernel kernel;
+    kernel.name = "prefix";
+    for (std::uint32_t s = 0; (1u << s) < n; ++s) {
+        KernelPhase phase;
+        const std::uint32_t step = 1u << s;
+        for (net::NodeId i = 0; i + step < n; ++i)
+            phase.pairs.emplace_back(
+                i, static_cast<net::NodeId>(i + step));
+        kernel.phases.push_back(std::move(phase));
+    }
+    return kernel;
+}
+
+KernelResult
+runKernel(net::Network &network, const Kernel &kernel,
+          std::uint32_t payload_flits, sim::Tick phase_timeout)
+{
+    KernelResult result;
+    result.completed = true;
+    const sim::Tick start = network.simulator().now();
+    for (const KernelPhase &phase : kernel.phases) {
+        const sim::Tick phase_start = network.simulator().now();
+        const BatchResult r = runBatch(network, phase.pairs,
+                                       payload_flits,
+                                       phase_timeout);
+        result.phaseTicks.push_back(network.simulator().now() -
+                                    phase_start);
+        if (!r.completed) {
+            result.completed = false;
+            break;
+        }
+    }
+    result.makespan = network.simulator().now() - start;
+    return result;
+}
+
+std::vector<Kernel>
+allKernels(net::NodeId n)
+{
+    return {butterflyKernel(n), allToAllKernel(n),
+            stencilKernel(n, 4), reductionKernel(n),
+            prefixKernel(n)};
+}
+
+} // namespace workload
+} // namespace rmb

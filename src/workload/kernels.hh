@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Application communication kernels.
+ *
+ * The paper motivates reconfigurable bus machines with computations
+ * from "image processing, sorting, selection, geometric and graph
+ * algorithms" (section 1).  This module provides the communication
+ * skeletons such algorithms generate - phase-structured (BSP-style)
+ * exchanges with a barrier between phases - so the benches can
+ * compare networks on algorithm-shaped traffic rather than only on
+ * synthetic permutations.
+ */
+
+#ifndef RMB_WORKLOAD_KERNELS_HH
+#define RMB_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/network.hh"
+#include "sim/types.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace workload {
+
+/** One barrier-separated communication phase. */
+struct KernelPhase
+{
+    PairList pairs;
+};
+
+/** A whole kernel: phases executed in order with barriers. */
+struct Kernel
+{
+    std::string name;
+    std::vector<KernelPhase> phases;
+
+    /** Total messages across all phases. */
+    std::size_t numMessages() const;
+};
+
+/**
+ * Butterfly / ascend: log2(N) phases; in phase s node i exchanges
+ * with i XOR 2^s.  The skeleton of bitonic sort, FFT and
+ * ascend/descend algorithms.  N must be a power of two.
+ */
+Kernel butterflyKernel(net::NodeId n);
+
+/**
+ * All-to-all personalized exchange as N-1 rotation phases (phase s:
+ * i -> i + s); the skeleton of matrix transpose and bucket sort.
+ */
+Kernel allToAllKernel(net::NodeId n);
+
+/**
+ * Iterative stencil: @p iterations phases of simultaneous exchange
+ * with both ring neighbours (i -> i+1 and i -> i-1); the skeleton
+ * of image filtering and relaxation solvers.
+ */
+Kernel stencilKernel(net::NodeId n, std::uint32_t iterations);
+
+/**
+ * Binary-tree reduction: log2(N) phases; in phase s nodes with
+ * index == 2^s (mod 2^(s+1)) send to index - 2^s.  The skeleton of
+ * global sums, selection and prefix operations.  N power of two.
+ */
+Kernel reductionKernel(net::NodeId n);
+
+/**
+ * Parallel prefix (exclusive scan, Hillis-Steele): log2(N) phases;
+ * in phase s every node i >= 2^s receives from i - 2^s.
+ */
+Kernel prefixKernel(net::NodeId n);
+
+/** Result of executing a kernel on a network. */
+struct KernelResult
+{
+    bool completed = false;
+    sim::Tick makespan = 0;
+    std::vector<sim::Tick> phaseTicks; //!< per-phase duration
+};
+
+/**
+ * Execute @p kernel on @p network, @p payload_flits per message,
+ * with a full barrier (network quiescence) between phases.
+ */
+KernelResult runKernel(net::Network &network, const Kernel &kernel,
+                       std::uint32_t payload_flits,
+                       sim::Tick phase_timeout = 10'000'000);
+
+/** All kernels at size @p n (power of two), for bench loops. */
+std::vector<Kernel> allKernels(net::NodeId n);
+
+} // namespace workload
+} // namespace rmb
+
+#endif // RMB_WORKLOAD_KERNELS_HH

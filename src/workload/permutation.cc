@@ -1,0 +1,181 @@
+#include "workload/permutation.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rmb {
+namespace workload {
+
+bool
+isPermutation(const Permutation &p)
+{
+    std::vector<bool> seen(p.size(), false);
+    for (net::NodeId v : p) {
+        if (v >= p.size() || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+Permutation
+identity(net::NodeId n)
+{
+    Permutation p(n);
+    std::iota(p.begin(), p.end(), 0);
+    return p;
+}
+
+Permutation
+randomPermutation(net::NodeId n, sim::Random &rng)
+{
+    Permutation p = identity(n);
+    rng.shuffle(p);
+    return p;
+}
+
+Permutation
+randomFullTraffic(net::NodeId n, sim::Random &rng)
+{
+    rmb_assert(n >= 2, "need N >= 2 for a fixed-point-free permutation");
+    for (;;) {
+        Permutation p = randomPermutation(n, rng);
+        bool has_fixed_point = false;
+        for (net::NodeId i = 0; i < n; ++i) {
+            if (p[i] == i) {
+                has_fixed_point = true;
+                break;
+            }
+        }
+        if (!has_fixed_point)
+            return p;
+    }
+}
+
+Permutation
+bitReversal(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "bit reversal needs N = 2^m, got ", n);
+    const std::uint32_t bits = log2Floor(n);
+    Permutation p(n);
+    for (net::NodeId i = 0; i < n; ++i)
+        p[i] = static_cast<net::NodeId>(bitReverse(i, bits));
+    return p;
+}
+
+Permutation
+perfectShuffle(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "shuffle needs N = 2^m, got ", n);
+    const std::uint32_t bits = log2Floor(n);
+    Permutation p(n);
+    for (net::NodeId i = 0; i < n; ++i) {
+        const std::uint64_t high = (i >> (bits - 1)) & 1;
+        p[i] = static_cast<net::NodeId>(((i << 1) | high) & (n - 1));
+    }
+    return p;
+}
+
+Permutation
+transpose(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "transpose needs N = 2^m, got ", n);
+    const std::uint32_t bits = log2Floor(n);
+    rmb_assert(bits % 2 == 0, "transpose needs an even bit count");
+    const std::uint32_t half = bits / 2;
+    const std::uint64_t mask = (1ull << half) - 1;
+    Permutation p(n);
+    for (net::NodeId i = 0; i < n; ++i) {
+        const std::uint64_t lo = i & mask;
+        const std::uint64_t hi = (i >> half) & mask;
+        p[i] = static_cast<net::NodeId>((lo << half) | hi);
+    }
+    return p;
+}
+
+Permutation
+rotation(net::NodeId n, net::NodeId shift)
+{
+    Permutation p(n);
+    for (net::NodeId i = 0; i < n; ++i)
+        p[i] = static_cast<net::NodeId>((i + shift) % n);
+    return p;
+}
+
+Permutation
+bitComplement(net::NodeId n)
+{
+    rmb_assert(isPowerOfTwo(n), "bit complement needs N = 2^m");
+    Permutation p(n);
+    for (net::NodeId i = 0; i < n; ++i)
+        p[i] = static_cast<net::NodeId>((~i) & (n - 1));
+    return p;
+}
+
+PairList
+toPairs(const Permutation &p)
+{
+    PairList pairs;
+    for (net::NodeId i = 0; i < p.size(); ++i)
+        if (p[i] != i)
+            pairs.emplace_back(i, p[i]);
+    return pairs;
+}
+
+PairList
+randomPartialPermutation(net::NodeId n, net::NodeId h,
+                         sim::Random &rng)
+{
+    rmb_assert(h <= n, "h-permutation needs h <= N");
+    for (;;) {
+        Permutation sources = identity(n);
+        Permutation dests = identity(n);
+        rng.shuffle(sources);
+        rng.shuffle(dests);
+        PairList pairs;
+        bool ok = true;
+        for (net::NodeId i = 0; i < h; ++i) {
+            if (sources[i] == dests[i]) {
+                ok = false;
+                break;
+            }
+            pairs.emplace_back(sources[i], dests[i]);
+        }
+        if (ok)
+            return pairs;
+    }
+}
+
+PairList
+randomHRelation(net::NodeId n, std::uint32_t h, sim::Random &rng)
+{
+    PairList pairs;
+    pairs.reserve(static_cast<std::size_t>(n) * h);
+    for (std::uint32_t round = 0; round < h; ++round) {
+        const Permutation p = randomFullTraffic(n, rng);
+        for (net::NodeId i = 0; i < n; ++i)
+            pairs.emplace_back(i, p[i]);
+    }
+    return pairs;
+}
+
+std::uint32_t
+maxRingLoad(net::NodeId n, const PairList &pairs)
+{
+    // Sweep: +1 at the gap after src, carried clockwise until dst.
+    std::vector<std::uint32_t> load(n, 0);
+    for (const auto &[src, dst] : pairs) {
+        net::NodeId g = src;
+        while (g != dst) {
+            ++load[g]; // gap between node g and node g+1
+            g = static_cast<net::NodeId>((g + 1) % n);
+        }
+    }
+    return *std::max_element(load.begin(), load.end());
+}
+
+} // namespace workload
+} // namespace rmb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Permutation workloads.
+ *
+ * The paper's evaluation metric is a network's ability to route
+ * k-permutations: k simultaneous messages with distinct sources and
+ * distinct destinations.  This module generates full permutations
+ * (the classical adversarial patterns plus uniformly random ones) and
+ * partial h-permutations.
+ */
+
+#ifndef RMB_WORKLOAD_PERMUTATION_HH
+#define RMB_WORKLOAD_PERMUTATION_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netbase/message.hh"
+#include "sim/random.hh"
+
+namespace rmb {
+namespace workload {
+
+/**
+ * A full permutation: element i is node i's destination.  A fixed
+ * point (p[i] == i) means node i sends nothing (self-messages do not
+ * enter the network).
+ */
+using Permutation = std::vector<net::NodeId>;
+
+/** A partial permutation: explicit (source, destination) pairs. */
+using PairList = std::vector<std::pair<net::NodeId, net::NodeId>>;
+
+/** @return true iff @p p is a permutation of 0..n-1. */
+bool isPermutation(const Permutation &p);
+
+/** Identity (all fixed points; routes nothing). */
+Permutation identity(net::NodeId n);
+
+/** Uniformly random permutation. */
+Permutation randomPermutation(net::NodeId n, sim::Random &rng);
+
+/**
+ * Uniformly random derangement-style permutation: re-drawn until no
+ * fixed points remain, so every node sends exactly one message.
+ */
+Permutation randomFullTraffic(net::NodeId n, sim::Random &rng);
+
+/** Bit reversal: node b_{m-1}..b_0 sends to b_0..b_{m-1}; N = 2^m. */
+Permutation bitReversal(net::NodeId n);
+
+/** Perfect shuffle: left-rotate the address bits; N = 2^m. */
+Permutation perfectShuffle(net::NodeId n);
+
+/** Matrix transpose: swap address halves; N = 2^m, m even. */
+Permutation transpose(net::NodeId n);
+
+/** Cyclic rotation by @p shift: i -> (i + shift) mod N. */
+Permutation rotation(net::NodeId n, net::NodeId shift);
+
+/** Bit complement: i -> ~i mod N; N = 2^m. */
+Permutation bitComplement(net::NodeId n);
+
+/** Drop fixed points, yielding explicit message pairs. */
+PairList toPairs(const Permutation &p);
+
+/**
+ * Random h-permutation: @p h pairs with distinct sources and distinct
+ * destinations (and src != dst per pair); requires h <= N.
+ */
+PairList randomPartialPermutation(net::NodeId n, net::NodeId h,
+                                  sim::Random &rng);
+
+/**
+ * Random h-relation: every node sends exactly @p h messages and
+ * receives exactly @p h (the union of h fixed-point-free random
+ * permutations) - the BSP/bulk-transfer generalization of the
+ * paper's h-permutation metric.
+ */
+PairList randomHRelation(net::NodeId n, std::uint32_t h,
+                         sim::Random &rng);
+
+/**
+ * The maximum number of clockwise ring hops any single inter-node gap
+ * must carry for this pair list; the RMB needs at least this many
+ * buses to route the whole set concurrently (see offline/).
+ */
+std::uint32_t maxRingLoad(net::NodeId n, const PairList &pairs);
+
+} // namespace workload
+} // namespace rmb
+
+#endif // RMB_WORKLOAD_PERMUTATION_HH

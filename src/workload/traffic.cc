@@ -1,0 +1,73 @@
+#include "workload/traffic.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rmb {
+namespace workload {
+
+net::NodeId
+UniformTraffic::pick(net::NodeId src, sim::Random &rng)
+{
+    // Draw from N-1 candidates and skip over the source.
+    auto d = static_cast<net::NodeId>(rng.uniformInt(numNodes_ - 1));
+    return d >= src ? d + 1 : d;
+}
+
+HotSpotTraffic::HotSpotTraffic(net::NodeId n, net::NodeId hot,
+                               double fraction)
+    : TrafficPattern(n), hot_(hot), fraction_(fraction)
+{
+    rmb_assert(hot < n, "hot node out of range");
+    rmb_assert(fraction >= 0.0 && fraction <= 1.0,
+               "hot fraction must be in [0,1]");
+}
+
+net::NodeId
+HotSpotTraffic::pick(net::NodeId src, sim::Random &rng)
+{
+    if (src != hot_ && rng.bernoulli(fraction_))
+        return hot_;
+    auto d = static_cast<net::NodeId>(rng.uniformInt(numNodes_ - 1));
+    return d >= src ? d + 1 : d;
+}
+
+LocalRingTraffic::LocalRingTraffic(net::NodeId n,
+                                   net::NodeId max_distance)
+    : TrafficPattern(n), maxDistance_(max_distance)
+{
+    rmb_assert(max_distance >= 1 && max_distance < n,
+               "ring-local distance must be in [1, N)");
+}
+
+net::NodeId
+LocalRingTraffic::pick(net::NodeId src, sim::Random &rng)
+{
+    const auto d = static_cast<net::NodeId>(
+        rng.uniformRange(1, maxDistance_));
+    return static_cast<net::NodeId>((src + d) % numNodes_);
+}
+
+net::NodeId
+TornadoTraffic::pick(net::NodeId src, sim::Random &rng)
+{
+    (void)rng;
+    const net::NodeId half = (numNodes_ + 1) / 2;
+    return static_cast<net::NodeId>((src + half) % numNodes_);
+}
+
+BitComplementTraffic::BitComplementTraffic(net::NodeId n)
+    : TrafficPattern(n)
+{
+    rmb_assert(isPowerOfTwo(n), "bit complement needs N = 2^m");
+}
+
+net::NodeId
+BitComplementTraffic::pick(net::NodeId src, sim::Random &rng)
+{
+    (void)rng;
+    return static_cast<net::NodeId>((~src) & (numNodes_ - 1));
+}
+
+} // namespace workload
+} // namespace rmb

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the baseline networks: mesh, hypercube/EHC, fat tree,
+ * arbitrated multibus and the ideal ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fattree.hh"
+#include "baselines/hypercube.hh"
+#include "baselines/mesh.hh"
+#include "baselines/multibus.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace baseline {
+namespace {
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 2'000'000)
+{
+    while (!net.quiescent() && !s.idle() && s.now() < limit)
+        s.run(256);
+}
+
+CircuitConfig
+cfg(std::uint64_t seed = 1)
+{
+    CircuitConfig c;
+    c.seed = seed;
+    return c;
+}
+
+// ---------------------------------------------------------- mesh
+
+TEST(Mesh, SingleMessageXYRoute)
+{
+    sim::Simulator s;
+    MeshNetwork net(s, 4, 4, cfg());
+    EXPECT_EQ(net.numNodes(), 16u);
+    const auto id = net.send(0, 15, 16);
+    runToQuiescence(s, net);
+    ASSERT_TRUE(net.quiescent());
+    const net::Message &m = net.message(id);
+    EXPECT_EQ(m.state, net::MessageState::Delivered);
+    // XY route 0 -> 15: 3 east + 3 north = 6 hops.
+    EXPECT_EQ(net.stats().pathLength.max(), 6.0);
+}
+
+TEST(Mesh, LinkCountMatchesTopology)
+{
+    sim::Simulator s;
+    MeshNetwork net(s, 4, 4, cfg());
+    // Directed links: 2 per internal edge; 2*4*3 edges * 2 = 48.
+    EXPECT_EQ(net.numLinks(), 48u);
+}
+
+TEST(Mesh, AdjacentMessageOneHop)
+{
+    sim::Simulator s;
+    MeshNetwork net(s, 4, 4, cfg());
+    net.send(5, 6, 4);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 1.0);
+}
+
+TEST(Mesh, ContendingMessagesRetryAndComplete)
+{
+    sim::Simulator s;
+    MeshNetwork net(s, 4, 1, cfg());
+    // A row mesh: all traffic shares the single row of links.
+    net.send(0, 3, 64);
+    net.send(1, 3, 64);
+    net.send(2, 3, 64);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_GE(net.stats().nacks + net.blockedAborts(), 1u);
+}
+
+TEST(Mesh, PermutationCompletes)
+{
+    sim::Simulator s;
+    MeshNetwork net(s, 4, 4, cfg(3));
+    sim::Random rng(3);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    const auto r = workload::runBatch(net, pairs, 16);
+    EXPECT_TRUE(r.completed);
+}
+
+// ----------------------------------------------------- hypercube
+
+TEST(Hypercube, EcubePathLengthIsHammingDistance)
+{
+    sim::Simulator s;
+    HypercubeNetwork net(s, 4, cfg());
+    EXPECT_EQ(net.numNodes(), 16u);
+    net.send(0b0000, 0b1011, 8);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 3.0);
+}
+
+TEST(Hypercube, LinkCount)
+{
+    sim::Simulator s;
+    HypercubeNetwork net(s, 4, cfg());
+    // Directed: N * dim.
+    EXPECT_EQ(net.numLinks(), 16u * 4u);
+}
+
+TEST(Hypercube, EnhancedDoublesDimensionZero)
+{
+    sim::Simulator s;
+    HypercubeNetwork ehc(s, 3, cfg(), true);
+    EXPECT_TRUE(ehc.enhanced());
+    EXPECT_EQ(ehc.name(), "EHC");
+    // Dimension-0 links have capacity 2, others 1.
+    EXPECT_EQ(ehc.linkCapacity(0), 2u);
+    EXPECT_EQ(ehc.linkCapacity(1), 1u);
+}
+
+TEST(Hypercube, PermutationCompletes)
+{
+    sim::Simulator s;
+    HypercubeNetwork net(s, 4, cfg(5));
+    sim::Random rng(5);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    const auto r = workload::runBatch(net, pairs, 16);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(HypercubeDeathTest, BadDimensionFatal)
+{
+    sim::Simulator s;
+    EXPECT_EXIT(HypercubeNetwork(s, 0, cfg()),
+                ::testing::ExitedWithCode(1), "dimension");
+}
+
+// ------------------------------------------------------ fat tree
+
+TEST(FatTree, RouteClimbsToLca)
+{
+    sim::Simulator s;
+    FatTreeNetwork net(s, 8, 8, cfg());
+    // 0 -> 1 share a parent: 2 hops.  0 -> 7 cross the root: 6 hops.
+    net.send(0, 1, 4);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 2.0);
+    net.send(0, 7, 4);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 6.0);
+}
+
+TEST(FatTree, CapacityGrowsTowardRootUpToCap)
+{
+    sim::Simulator s;
+    FatTreeNetwork net(s, 16, 4, cfg());
+    // Leaf edges capacity 1; the root's child edges capped at 4.
+    std::uint32_t max_cap = 0;
+    std::uint32_t min_cap = UINT32_MAX;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        max_cap = std::max(max_cap, net.linkCapacity(l));
+        min_cap = std::min(min_cap, net.linkCapacity(l));
+    }
+    EXPECT_EQ(min_cap, 1u);
+    EXPECT_EQ(max_cap, 4u);
+}
+
+TEST(FatTree, FullCapPermutationHasNoContentionLoss)
+{
+    // With capacity cap N (Leiserson's doubling tree) a permutation
+    // routes without dst-side congestion collapse.
+    sim::Simulator s;
+    FatTreeNetwork net(s, 16, 16, cfg(7));
+    sim::Random rng(7);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    const auto r = workload::runBatch(net, pairs, 16);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(FatTreeDeathTest, NonPowerOfTwoFatal)
+{
+    sim::Simulator s;
+    EXPECT_EXIT(FatTreeNetwork(s, 12, 4, cfg()),
+                ::testing::ExitedWithCode(1), "2\\^m");
+}
+
+// ------------------------------------------------------ multibus
+
+TEST(MultiBus, SingleSharedMedium)
+{
+    sim::Simulator s;
+    MultiBusNetwork net(s, 16, 4, cfg());
+    EXPECT_EQ(net.numLinks(), 1u);
+    EXPECT_EQ(net.linkCapacity(0), 4u);
+}
+
+TEST(MultiBus, AtMostKConcurrentCircuits)
+{
+    sim::Simulator s;
+    MultiBusNetwork net(s, 16, 2, cfg());
+    for (net::NodeId i = 0; i < 8; ++i)
+        net.send(i, i + 8, 400);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_LE(net.stats().activeCircuits.maximum(), 2);
+}
+
+TEST(MultiBus, AllMessagesEventuallyServed)
+{
+    sim::Simulator s;
+    MultiBusNetwork net(s, 8, 1, cfg(11));
+    sim::Random rng(11);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(8, rng));
+    const auto r = workload::runBatch(net, pairs, 8);
+    EXPECT_TRUE(r.completed);
+}
+
+// ----------------------------------------------------- ideal ring
+
+TEST(IdealRing, ClockwiseRoute)
+{
+    sim::Simulator s;
+    IdealRingNetwork net(s, 8, 2, cfg());
+    net.send(6, 1, 4); // wraps: gaps 6, 7, 0
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 3.0);
+}
+
+TEST(IdealRing, KCircuitsPerGap)
+{
+    sim::Simulator s;
+    IdealRingNetwork net(s, 8, 2, cfg());
+    // Two long overlapping circuits fit; a third must retry.
+    net.send(0, 4, 2000);
+    net.send(1, 5, 2000);
+    s.runFor(200);
+    EXPECT_EQ(net.stats().activeCircuits.current(), 2);
+    net.send(2, 6, 16);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_GE(net.blockedAborts(), 1u);
+}
+
+TEST(IdealRing, PermutationCompletes)
+{
+    sim::Simulator s;
+    IdealRingNetwork net(s, 16, 4, cfg(13));
+    sim::Random rng(13);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    const auto r = workload::runBatch(net, pairs, 16);
+    EXPECT_TRUE(r.completed);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace rmb

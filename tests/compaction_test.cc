@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Focused tests of compaction dynamics: Figure 5's two-cycle move,
+ * the make-before-break dual window, and the staircase fixed point
+ * this reproduction discovered.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+cfg(std::uint32_t n, std::uint32_t k)
+{
+    RmbConfig c;
+    c.numNodes = n;
+    c.numBuses = k;
+    c.headerPolicy = HeaderPolicy::PreferStraight;
+    // Homogeneous clocks make the cycle arithmetic exact.
+    c.cyclePeriodMin = c.cyclePeriodMax = 8;
+    c.verify = VerifyLevel::Full;
+    return c;
+}
+
+TEST(Compaction, FigureFiveMoveRate)
+{
+    // A single long-lived circuit injected on the top bus sinks one
+    // level roughly every two odd/even cycles (Figure 5): with a
+    // parity alternation each level's parity is considered every
+    // other cycle, and a full cycle is 4 handshake phases of one
+    // 8-tick period each.
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(8, 8));
+    net.send(0, 4, 100'000);
+    // Sample the first hop's level over time.
+    Level previous = 7;
+    std::vector<sim::Tick> drop_time;
+    while (drop_time.size() < 7 && s.now() < 50'000) {
+        s.run(8);
+        const auto ids = net.liveBusIds();
+        ASSERT_EQ(ids.size(), 1u);
+        const VirtualBus *bus = net.bus(ids[0]);
+        const Level level = bus->hops.front().settledLevel();
+        if (level < previous) {
+            // Levels drop one at a time (make-before-break).
+            EXPECT_EQ(level, previous - 1);
+            drop_time.push_back(s.now());
+            previous = level;
+        }
+    }
+    ASSERT_EQ(drop_time.size(), 7u); // reached the bottom
+    // Steady-state inter-drop spacing: at least one full cycle
+    // (4 phases x 8 ticks), at most a few cycles.
+    for (std::size_t i = 1; i < drop_time.size(); ++i) {
+        const sim::Tick gap = drop_time[i] - drop_time[i - 1];
+        EXPECT_GE(gap, 32u) << "drop " << i;
+        EXPECT_LE(gap, 160u) << "drop " << i;
+    }
+    while (!net.quiescent() && s.now() < 300'000)
+        s.run(4096);
+}
+
+TEST(Compaction, MakeBeforeBreakWindowIsHalfAPeriod)
+{
+    // During a move the hop owns both segments; the dual window
+    // lasts half the INC's period (8 -> 4 ticks).
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(8, 4));
+    net.send(0, 4, 50'000);
+    sim::Tick window_start = 0;
+    sim::Tick window_len = 0;
+    bool in_window = false;
+    for (int step = 0; step < 4000 && window_len == 0; ++step) {
+        s.runFor(1);
+        const auto ids = net.liveBusIds();
+        if (ids.empty())
+            continue;
+        const VirtualBus *bus = net.bus(ids[0]);
+        bool dual = false;
+        for (const Hop &h : bus->hops)
+            dual |= h.inMove();
+        if (dual && !in_window) {
+            in_window = true;
+            window_start = s.now();
+        } else if (!dual && in_window) {
+            window_len = s.now() - window_start;
+        }
+    }
+    ASSERT_GT(window_len, 0u) << "no make-before-break observed";
+    EXPECT_GE(window_len, 3u);
+    EXPECT_LE(window_len, 6u);
+    while (!net.quiescent() && s.now() < 300'000)
+        s.run(4096);
+}
+
+TEST(Compaction, StaircaseIsARigidFixedPoint)
+{
+    // The finding documented in E9/EXPERIMENTS.md: eagerly-descended
+    // circuits from consecutive sources pack into a staircase where
+    // *no* hop satisfies Figure 7's four conditions, stranding the
+    // bottom level.  Pin it so any protocol change that alters the
+    // equilibrium is noticed.
+    sim::Simulator s;
+    RmbConfig c = cfg(16, 4);
+    c.headerPolicy = HeaderPolicy::PreferLowest;
+    RmbNetwork net(s, c);
+    // Circuits i -> i+3 for all i: every gap carries 3 circuits.
+    for (net::NodeId i = 0; i < 16; ++i)
+        net.send(i, (i + 3) % 16, 30'000);
+    s.runFor(5'000); // ample time for any possible move
+    const auto moves_before = net.rmbStats().compactionMoves;
+    s.runFor(5'000);
+    // Established staircase: zero further moves.
+    EXPECT_EQ(net.rmbStats().compactionMoves, moves_before);
+    // And the bottom level is partially stranded: at least one gap
+    // has level 0 free while 3 circuits sit above.
+    bool stranded = false;
+    for (GapId g = 0; g < 16; ++g) {
+        stranded |= net.segments().isFree(g, 0) &&
+                    !net.segments().isFree(g, 1) &&
+                    !net.segments().isFree(g, 2) &&
+                    !net.segments().isFree(g, 3);
+    }
+    EXPECT_TRUE(stranded);
+    while (!net.quiescent() && s.now() < 500'000)
+        s.run(4096);
+}
+
+TEST(Compaction, TeardownDissolvesTheStaircase)
+{
+    // Once circuits start finishing, compaction resumes and the
+    // survivors sink.
+    sim::Simulator s;
+    RmbConfig c = cfg(16, 4);
+    c.headerPolicy = HeaderPolicy::PreferLowest;
+    RmbNetwork net(s, c);
+    for (net::NodeId i = 0; i < 16; ++i)
+        net.send(i, (i + 3) % 16, 2'000 + 1'000 * (i % 4));
+    while (!net.quiescent() && s.now() < 200'000)
+        s.run(1024);
+    ASSERT_TRUE(net.quiescent());
+    EXPECT_GT(net.rmbStats().compactionMoves, 0u);
+}
+
+TEST(Compaction, DisabledMeansZeroMovesEver)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(16, 4);
+    c.enableCompaction = false;
+    RmbNetwork net(s, c);
+    workload::PairList pairs;
+    for (net::NodeId i = 0; i < 16; ++i)
+        pairs.emplace_back(i, (i + 5) % 16);
+    const auto r = workload::runBatch(net, pairs, 64, 4'000'000);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(net.rmbStats().compactionMoves, 0u);
+    // The odd/even cycles still run (they are the INC's heartbeat).
+    EXPECT_GT(net.inc(0).cycleCount(), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

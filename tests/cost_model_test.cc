@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the section 3.2 analytic cost models, including the
+ * paper's own worked relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hh"
+#include "common/bitutils.hh"
+
+namespace rmb {
+namespace analysis {
+namespace {
+
+TEST(RmbCosts, MatchesPaperFormulas)
+{
+    // Paper: links = N*k, cross points = 3*N*k, area = Theta(N*k),
+    // bisection = k*B.
+    const Costs c = rmbCosts(64, 8);
+    EXPECT_EQ(c.links, 64u * 8u);
+    EXPECT_EQ(c.crossPoints, 3u * 64u * 8u);
+    EXPECT_EQ(c.area, 64u * 8u);
+    EXPECT_EQ(c.bisection, 8u);
+}
+
+TEST(RmbCosts, LinearInBothParameters)
+{
+    const Costs a = rmbCosts(32, 4);
+    const Costs b = rmbCosts(64, 4);
+    const Costs c = rmbCosts(32, 8);
+    EXPECT_EQ(b.links, 2 * a.links);
+    EXPECT_EQ(c.links, 2 * a.links);
+    EXPECT_EQ(b.crossPoints, 2 * a.crossPoints);
+    EXPECT_EQ(c.area, 2 * a.area);
+}
+
+TEST(HypercubeCosts, MatchesPaperFormulas)
+{
+    // N = 64 = 2^6: links N*log N = 384, cross points N*(log N)^2.
+    const Costs c = hypercubeCosts(64);
+    EXPECT_EQ(c.links, 64u * 6u);
+    EXPECT_EQ(c.crossPoints, 64u * 36u);
+    EXPECT_EQ(c.area, 64u * 64u);
+    EXPECT_EQ(c.bisection, 32u);
+}
+
+TEST(EhcCosts, DegreePlusOne)
+{
+    // EHC: degree log N + 1 -> links N*(log N + 1), cross points
+    // N*(log N + 1)^2 (paper section 3.2).
+    const Costs c = ehcCosts(64);
+    EXPECT_EQ(c.links, 64u * 7u);
+    EXPECT_EQ(c.crossPoints, 64u * 49u);
+    EXPECT_EQ(c.area, 64u * 64u);
+}
+
+TEST(FatTreeCosts, MatchesPaperFormula)
+{
+    // Paper: links = N*log2(k) + N - 2k.
+    const Costs c = fatTreeCosts(64, 8);
+    EXPECT_EQ(c.links, 64u * 3u + 64u - 16u);
+    // Cross points: (N/k - 1)*6k^2 + (N/k)*6k^2 with N/k = 8.
+    EXPECT_EQ(c.crossPoints, 7u * 6u * 64u + 8u * 6u * 64u);
+    // Area: constant at least twelve times N*k.
+    EXPECT_EQ(c.area, 12u * 64u * 8u);
+    EXPECT_EQ(c.bisection, 8u);
+}
+
+TEST(MeshCosts, MatchesPaperAccounting)
+{
+    // Expanded by sqrt(k) per dimension: 16*N*k cross points and
+    // N*k area.
+    const Costs c = meshCosts(64, 4);
+    EXPECT_EQ(c.links, 2u * 64u * 2u);
+    EXPECT_EQ(c.crossPoints, 16u * 64u * 4u);
+    EXPECT_EQ(c.area, 64u * 4u);
+}
+
+TEST(MeshCosts, UnitCapabilityIsPlainMesh)
+{
+    const Costs c = meshCosts(64, 1);
+    EXPECT_EQ(c.links, 2u * 64u);
+    EXPECT_EQ(c.crossPoints, 16u * 64u);
+    EXPECT_EQ(c.area, 64u);
+}
+
+TEST(Comparison, RmbAreaBeatsHypercubeAtScale)
+{
+    // Section 3.2's headline: hypercube-family area is Theta(N^2),
+    // the RMB's Theta(N*k) - for k = log N the RMB wins for all
+    // N >= 16.
+    for (std::uint64_t n : {16u, 64u, 256u, 1024u}) {
+        const std::uint64_t k = log2Floor(n);
+        EXPECT_LT(rmbCosts(n, k).area, hypercubeCosts(n).area)
+            << "N=" << n;
+    }
+}
+
+TEST(Comparison, FatTreeFewerLinksButMoreArea)
+{
+    // Paper: "The RMB has more links than ... a k-permutation
+    // supporting fat tree" but the fat tree's area constant (>= 12)
+    // exceeds the RMB's.
+    for (std::uint64_t n : {64u, 256u}) {
+        for (std::uint64_t k : {4u, 8u, 16u}) {
+            const Costs rmb = rmbCosts(n, k);
+            const Costs ft = fatTreeCosts(n, k);
+            EXPECT_GT(rmb.links, ft.links)
+                << "N=" << n << " k=" << k;
+            EXPECT_LT(rmb.area, ft.area) << "N=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(Comparison, RmbCrossPointsBeatEhc)
+{
+    // 3Nk vs N(log N + 1)^2: for k = log N the RMB has fewer cross
+    // points whenever 3 log N < (log N + 1)^2, i.e. always.
+    for (std::uint64_t n : {16u, 64u, 256u, 1024u}) {
+        const std::uint64_t k = log2Floor(n);
+        EXPECT_LT(rmbCosts(n, k).crossPoints,
+                  ehcCosts(n).crossPoints)
+            << "N=" << n;
+    }
+}
+
+TEST(Comparison, MeshAndRmbAreaComparable)
+{
+    // Paper: the RMB "is also comparable to the mesh using these
+    // criteria" - identical area accounting.
+    EXPECT_EQ(rmbCosts(256, 8).area, meshCosts(256, 8).area);
+}
+
+TEST(GfcCosts, LinkBoundShrinksWithK)
+{
+    const Costs loose = gfcCosts(256, 2);
+    const Costs tight = gfcCosts(256, 32);
+    EXPECT_GT(loose.links, tight.links);
+}
+
+TEST(AllArchitectures, RegistryCoversPaperSet)
+{
+    const auto &archs = allArchitectures();
+    ASSERT_EQ(archs.size(), 6u);
+    EXPECT_EQ(archs[0].name, "RMB (ring)");
+    // Every entry must be callable at a valid design point.
+    for (const auto &a : archs) {
+        const Costs c = a.costs(64, 8);
+        EXPECT_GT(c.links, 0u) << a.name;
+        EXPECT_GT(c.area, 0u) << a.name;
+    }
+}
+
+TEST(CostModelDeathTest, HypercubeRejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(hypercubeCosts(48), "2\\^n");
+}
+
+TEST(CostModelDeathTest, FatTreeRejectsBadK)
+{
+    EXPECT_DEATH(fatTreeCosts(64, 3), "");
+    EXPECT_DEATH(fatTreeCosts(60, 4), "");
+}
+
+TEST(CostModelDeathTest, RejectsKAboveN)
+{
+    EXPECT_DEATH(rmbCosts(8, 9), "");
+}
+
+} // namespace
+} // namespace analysis
+} // namespace rmb

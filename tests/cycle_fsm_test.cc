@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the odd/even cycle FSM: the five rules of section 2.5,
+ * and Lemma 1 on simulated rings of FSMs with randomized clock
+ * rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rmb/cycle_fsm.hh"
+#include "sim/random.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+TEST(CycleFsm, ResetState)
+{
+    // Rule 1: at reset OD = OC = 0.
+    CycleFsm f;
+    EXPECT_FALSE(f.od());
+    EXPECT_FALSE(f.oc());
+    EXPECT_EQ(f.cycleCount(), 0u);
+    EXPECT_EQ(f.phase(), CyclePhase::Moving);
+}
+
+TEST(CycleFsm, OdNeedsIdAndClearNeighbours)
+{
+    CycleFsm f;
+    // Without ID nothing happens.
+    f.step(false, false, false, false);
+    EXPECT_FALSE(f.od());
+    f.setMovesDone();
+    // Rule 2 blocked while a neighbour cycle flag is high.
+    f.step(false, true, false, false);
+    EXPECT_FALSE(f.od());
+    f.step(false, false, false, true);
+    EXPECT_FALSE(f.od());
+    // Clear neighbours: OD rises.
+    f.step(false, false, false, false);
+    EXPECT_TRUE(f.od());
+    EXPECT_EQ(f.phase(), CyclePhase::WaitNeighborsDone);
+}
+
+TEST(CycleFsm, OcNeedsBothNeighbourDs)
+{
+    CycleFsm f;
+    f.setMovesDone();
+    f.step(false, false, false, false); // OD=1
+    // Rule 3: OC needs LD and RD.
+    f.step(true, false, false, false);
+    EXPECT_FALSE(f.oc());
+    f.step(false, false, true, false);
+    EXPECT_FALSE(f.oc());
+    f.step(true, false, true, false);
+    EXPECT_TRUE(f.oc());
+    EXPECT_EQ(f.cycleCount(), 1u);
+}
+
+TEST(CycleFsm, OdClearsWhenNeighbourCyclesFlip)
+{
+    CycleFsm f;
+    f.setMovesDone();
+    f.step(false, false, false, false); // OD=1
+    f.step(true, false, true, false);   // OC=1
+    // Rule 4: OD falls once LC and RC are both high.
+    f.step(true, false, true, true);
+    EXPECT_TRUE(f.od());
+    f.step(true, true, true, true);
+    EXPECT_FALSE(f.od());
+    EXPECT_TRUE(f.oc());
+}
+
+TEST(CycleFsm, OcClearsWhenNeighbourDsClearAndMovingResumes)
+{
+    CycleFsm f;
+    f.setMovesDone();
+    f.step(false, false, false, false); // OD=1
+    f.step(true, false, true, false);   // OC=1, cycle 1
+    f.step(true, true, true, true);     // OD=0
+    // Rule 5: OC falls once LD and RD are low; Moving begins.
+    EXPECT_FALSE(f.step(true, true, false, true));
+    EXPECT_TRUE(f.oc());
+    EXPECT_TRUE(f.step(false, true, false, true));
+    EXPECT_FALSE(f.oc());
+    EXPECT_EQ(f.phase(), CyclePhase::Moving);
+    EXPECT_TRUE(f.moving());
+}
+
+TEST(CycleFsm, ConsideredParityAlternates)
+{
+    CycleFsm f;
+    // Even INC, cycle 0 -> even levels; odd INC -> odd levels.
+    EXPECT_EQ(f.consideredParity(0), 0);
+    EXPECT_EQ(f.consideredParity(1), 1);
+    EXPECT_EQ(f.consideredParity(2), 0);
+    // Advance one cycle.
+    f.setMovesDone();
+    f.step(false, false, false, false);
+    f.step(true, false, true, false);
+    EXPECT_EQ(f.cycleCount(), 1u);
+    EXPECT_EQ(f.consideredParity(0), 1);
+    EXPECT_EQ(f.consideredParity(1), 0);
+}
+
+/**
+ * Simulate a ring of FSMs where each node polls at a random rate and
+ * completes its Moving phase after a random number of polls; check
+ * Lemma 1 throughout: neighbouring cycle counts never differ by more
+ * than one, and everyone keeps making progress.
+ */
+class CycleFsmRing : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CycleFsmRing, Lemma1HoldsUnderRandomRates)
+{
+    const int n = GetParam();
+    sim::Random rng(static_cast<std::uint64_t>(n) * 977 + 1);
+    std::vector<CycleFsm> fsm(static_cast<std::size_t>(n));
+    std::vector<int> move_polls_left(static_cast<std::size_t>(n));
+    for (auto &m : move_polls_left)
+        m = static_cast<int>(rng.uniformRange(0, 3));
+
+    std::uint64_t total_steps = 0;
+    for (int round = 0; round < 20000; ++round) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(n)));
+        auto &f = fsm[i];
+        if (f.phase() == CyclePhase::Moving && !f.moving()) {
+            // moves already done
+        } else if (f.phase() == CyclePhase::Moving) {
+            if (move_polls_left[i]-- <= 0)
+                f.setMovesDone();
+        }
+        const auto &l = fsm[(i + static_cast<std::size_t>(n) - 1) %
+                            static_cast<std::size_t>(n)];
+        const auto &r = fsm[(i + 1) % static_cast<std::size_t>(n)];
+        const bool entered = f.step(l.od(), l.oc(), r.od(), r.oc());
+        if (entered)
+            move_polls_left[i] = static_cast<int>(
+                rng.uniformRange(0, 3));
+        ++total_steps;
+
+        // Lemma 1 after every step.
+        for (std::size_t j = 0;
+             j < static_cast<std::size_t>(n); ++j) {
+            const auto a = fsm[j].cycleCount();
+            const auto b =
+                fsm[(j + 1) % static_cast<std::size_t>(n)]
+                    .cycleCount();
+            const auto skew = a > b ? a - b : b - a;
+            ASSERT_LE(skew, 1u)
+                << "Lemma 1 violated at nodes " << j << "/"
+                << (j + 1) % static_cast<std::size_t>(n);
+        }
+    }
+
+    // Liveness: every node completed several cycles.
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+        EXPECT_GE(fsm[j].cycleCount(), 3u) << "node " << j;
+    (void)total_steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, CycleFsmRing,
+                         ::testing::Values(2, 3, 4, 5, 8, 16, 17));
+
+} // namespace
+} // namespace core
+} // namespace rmb

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the workload drivers (batch and open loop), run against
+ * both the RMB and a baseline so the harness is provably
+ * network-agnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/multibus.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/traffic.hh"
+
+namespace rmb {
+namespace workload {
+namespace {
+
+TEST(RunBatch, EmptyBatchCompletesImmediately)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    const auto r = runBatch(net, {}, 16);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.delivered, 0u);
+    EXPECT_EQ(r.makespan, 0u);
+}
+
+TEST(RunBatch, ReportsPerBatchCounters)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 4;
+    core::RmbNetwork net(s, cfg);
+    const PairList pairs{{0, 4}, {1, 5}, {2, 6}};
+    const auto r = runBatch(net, pairs, 16);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.delivered, 3u);
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.meanLatency, 0.0);
+    EXPECT_LE(r.meanLatency, r.maxLatency);
+    EXPECT_LE(r.maxLatency, static_cast<double>(r.makespan));
+}
+
+TEST(RunBatch, SequentialBatchesIsolateCounters)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    const auto r1 = runBatch(net, {{0, 4}, {1, 5}}, 16);
+    const auto r2 = runBatch(net, {{2, 6}}, 16);
+    EXPECT_TRUE(r1.completed);
+    EXPECT_TRUE(r2.completed);
+    EXPECT_EQ(r2.delivered, 1u);
+}
+
+TEST(RunBatch, TimeoutReportsPartialCompletion)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    // Absurdly short timeout: the messages cannot finish.
+    const auto r = runBatch(net, {{0, 4}}, 5000, 10);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.delivered, 0u);
+    // Drain so the fixture tears down cleanly.
+    while (!net.quiescent())
+        s.run(256);
+}
+
+TEST(RunBatch, WorksOnBaselineNetworks)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::MultiBusNetwork net(s, 8, 2, cfg);
+    const PairList pairs{{0, 4}, {1, 5}, {2, 6}, {3, 7}};
+    const auto r = runBatch(net, pairs, 8);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.delivered, 4u);
+}
+
+TEST(RunBatchDeathTest, RequiresQuiescentNetwork)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    net.send(0, 1, 50);
+    EXPECT_DEATH(runBatch(net, {{2, 3}}, 8), "quiescent");
+    while (!net.quiescent())
+        s.run(256);
+}
+
+TEST(RunOpenLoop, DeliversAtLowLoad)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 4;
+    core::RmbNetwork net(s, cfg);
+    UniformTraffic pattern(8);
+    sim::Random rng(1);
+    const auto r =
+        runOpenLoop(net, pattern, 0.002, 8, 20000, rng, 2000);
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.meanLatency, 0.0);
+    EXPECT_LE(r.meanLatency, r.maxLatency);
+    // At this trickle the network keeps up.
+    EXPECT_NEAR(r.throughput, 0.002, 0.001);
+}
+
+TEST(RunOpenLoop, ThroughputSaturatesUnderOverload)
+{
+    sim::Simulator s1;
+    sim::Simulator s2;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork low(s1, cfg);
+    core::RmbNetwork high(s2, cfg);
+    UniformTraffic pattern(8);
+    sim::Random rng1(2);
+    sim::Random rng2(2);
+    const auto r_low =
+        runOpenLoop(low, pattern, 0.001, 16, 30000, rng1, 3000);
+    const auto r_high =
+        runOpenLoop(high, pattern, 0.05, 16, 30000, rng2, 3000);
+    // Overload cannot deliver proportionally more.
+    EXPECT_LT(r_high.throughput, 0.05 * 0.9);
+    EXPECT_GT(r_high.meanLatency, r_low.meanLatency);
+}
+
+TEST(RunOpenLoop, HonoursMeasurementWindow)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 4;
+    core::RmbNetwork net(s, cfg);
+    UniformTraffic pattern(8);
+    sim::Random rng(3);
+    const auto r =
+        runOpenLoop(net, pattern, 0.005, 8, 10000, rng, 9000);
+    // Only ~1000 ticks are measured: the in-window deliveries that
+    // define throughput must be far fewer than total injections.
+    const double measured =
+        r.throughput * 1000.0 * 8.0;
+    EXPECT_LT(measured, static_cast<double>(r.injected) / 2.0);
+    EXPECT_GT(r.injected, 100u);
+}
+
+TEST(RunOpenLoopDeathTest, RateValidation)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    UniformTraffic pattern(8);
+    sim::Random rng(4);
+    EXPECT_DEATH(runOpenLoop(net, pattern, 0.0, 8, 1000, rng), "rate");
+    EXPECT_DEATH(runOpenLoop(net, pattern, 0.5, 8, 1000, rng, 2000),
+                 "warmup");
+}
+
+} // namespace
+} // namespace workload
+} // namespace rmb

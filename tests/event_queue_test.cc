@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace rmb {
+namespace sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTick(), kMaxTick);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, RunOneReturnsFiringTick)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextTick(), 42u);
+    EXPECT_EQ(q.runOne(), 42u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPendingEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    q.runOne();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, CancelledEventSkippedAmongOthers)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    EventId mid = q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.cancel(mid);
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CallbackCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> reschedule = [&] {
+        if (++count < 5)
+            q.schedule(static_cast<Tick>(count * 10), reschedule);
+    };
+    q.schedule(0, reschedule);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, NumExecutedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(i, [] {});
+    EventId id = q.schedule(9, [] {});
+    q.cancel(id);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(q.numExecuted(), 4u);
+}
+
+TEST(EventQueue, NextTickSkipsCancelledHead)
+{
+    EventQueue q;
+    EventId early = q.schedule(1, [] {});
+    q.schedule(50, [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.nextTick(), 50u);
+}
+
+TEST(EventQueueDeathTest, RunOneOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.runOne(), "empty event queue");
+}
+
+TEST(EventQueueDeathTest, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.schedule(1, EventQueue::Callback{}),
+                 "null callback");
+}
+
+TEST(EventQueue, ManyEventsStressOrder)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 257);
+        q.schedule(when, [] {});
+    }
+    while (!q.empty()) {
+        const Tick t = q.runOne();
+        if (t < last)
+            monotonic = false;
+        last = t;
+    }
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace sim
+} // namespace rmb

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fault-injection tests: the RMB routes and compacts around
+ * permanently failed bus segments, degrading capacity gracefully.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+cfg(std::uint32_t n, std::uint32_t k, std::uint64_t seed = 1)
+{
+    RmbConfig c;
+    c.numNodes = n;
+    c.numBuses = k;
+    c.seed = seed;
+    c.verify = VerifyLevel::Full;
+    return c;
+}
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 2'000'000)
+{
+    while (!net.quiescent() && s.now() < limit)
+        s.run(256);
+}
+
+TEST(Fault, SingleFaultedSegmentIsAvoided)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 4));
+    net.failSegment(5, 1);
+    EXPECT_TRUE(net.segments().isFaulty(5, 1));
+    EXPECT_EQ(net.segments().faultyCount(), 1u);
+    const auto id = net.send(2, 9, 64); // crosses gap 5
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    // The faulted cell never carried the bus.
+    EXPECT_TRUE(net.segments().isFaulty(5, 1));
+}
+
+TEST(Fault, CompactionNeverMovesIntoAFault)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(12, 4));
+    // Fault the bottom of every gap: circuits settle at level 1.
+    for (GapId g = 0; g < 12; ++g)
+        net.failSegment(g, 0);
+    net.send(0, 6, 3'000);
+    s.runFor(2'000);
+    const auto ids = net.liveBusIds();
+    ASSERT_EQ(ids.size(), 1u);
+    for (const Hop &h : net.bus(ids[0])->hops) {
+        EXPECT_GE(h.level, 1) << "gap " << h.gap;
+        EXPECT_FALSE(net.segments().isFaulty(h.gap, h.level));
+    }
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+}
+
+TEST(Fault, ReducedCapacityStillServesWithinNewK)
+{
+    // k = 4 with one level faulted everywhere behaves like k = 3:
+    // h-permutations of load <= 3 still complete.
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 4, 3));
+    for (GapId g = 0; g < 16; ++g)
+        net.failSegment(g, 2);
+    sim::Random rng(9);
+    workload::PairList pairs;
+    for (int attempt = 0; attempt < 300; ++attempt) {
+        auto cand = workload::randomPartialPermutation(16, 6, rng);
+        if (workload::maxRingLoad(16, cand) <= 3) {
+            pairs = std::move(cand);
+            break;
+        }
+    }
+    ASSERT_FALSE(pairs.empty());
+    const auto r = workload::runBatch(net, pairs, 24, 4'000'000);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Fault, FaultedTopDisablesInjectionAtThatNode)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(8, 2);
+    c.maxRetries = 3;
+    c.retryBackoffMin = 2;
+    c.retryBackoffMax = 4;
+    RmbNetwork net(s, c);
+    net.failSegment(3, 1); // node 3's injection segment
+    const auto blocked = net.send(3, 6, 8);
+    const auto fine = net.send(2, 6, 8);
+    s.runFor(200'000);
+    // Node 3's message can never inject: it stays queued forever
+    // (injection is not a Nack, so retries never accrue).
+    EXPECT_EQ(net.message(blocked).state,
+              net::MessageState::Queued);
+    EXPECT_EQ(net.message(fine).state,
+              net::MessageState::Delivered);
+}
+
+TEST(Fault, FullyFaultedGapPartitionsTheRing)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(8, 2);
+    c.maxRetries = 4;
+    c.retryBackoffMin = 2;
+    c.retryBackoffMax = 4;
+    RmbNetwork net(s, c);
+    net.failSegment(4, 0);
+    net.failSegment(4, 1);
+    // 2 -> 6 must cross gap 4: fails after bounded retries.
+    const auto doomed = net.send(2, 6, 8);
+    // 5 -> 2 wraps the other way around (gaps 5,6,7,0,1): fine.
+    const auto fine = net.send(5, 2, 8);
+    runToQuiescence(s, net, 500'000);
+    EXPECT_EQ(net.message(doomed).state,
+              net::MessageState::Failed);
+    EXPECT_EQ(net.message(fine).state,
+              net::MessageState::Delivered);
+    EXPECT_TRUE(net.quiescent());
+}
+
+TEST(Fault, ThroughputDegradesGracefullyWithFaults)
+{
+    // Random permutation makespan grows smoothly as random (non-top)
+    // segments die.
+    double makespan_0 = 0.0;
+    double makespan_8 = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        for (const std::uint32_t faults : {0u, 8u}) {
+            sim::Simulator s;
+            RmbNetwork net(s, cfg(16, 4, seed));
+            sim::Random frng(seed * 7);
+            std::uint32_t injected = 0;
+            while (injected < faults) {
+                const auto g = static_cast<GapId>(
+                    frng.uniformInt(16));
+                const auto l = static_cast<Level>(
+                    frng.uniformInt(3)); // never the top
+                if (!net.segments().isFaulty(g, l)) {
+                    net.failSegment(g, l);
+                    ++injected;
+                }
+            }
+            sim::Random rng(seed * 31);
+            const auto pairs = workload::toPairs(
+                workload::randomFullTraffic(16, rng));
+            const auto r =
+                workload::runBatch(net, pairs, 24, 4'000'000);
+            ASSERT_TRUE(r.completed);
+            (faults == 0 ? makespan_0 : makespan_8) +=
+                static_cast<double>(r.makespan);
+        }
+    }
+    EXPECT_GT(makespan_8, makespan_0);
+    EXPECT_LT(makespan_8, makespan_0 * 6.0);
+}
+
+TEST(Fault, EagerDescentTrapsOnLowLevelFaults)
+{
+    // A reproduction finding: with PreferLowest headers, a gap
+    // whose *low* levels are faulted is a deterministic trap - the
+    // header has eagerly descended to level 0 by the time it
+    // arrives and can only reach {0, 1}, both dead, while levels
+    // 2..3 sit free.  Every retry repeats the descent, so the
+    // message fails permanently.  PreferStraight (top-bus) headers
+    // are immune: the top level can never be faulted.
+    for (const HeaderPolicy policy :
+         {HeaderPolicy::PreferLowest,
+          HeaderPolicy::PreferStraight}) {
+        sim::Simulator s;
+        RmbConfig c = cfg(16, 4);
+        c.headerPolicy = policy;
+        c.maxRetries = 5;
+        c.retryBackoffMin = 2;
+        c.retryBackoffMax = 4;
+        RmbNetwork net(s, c);
+        net.failSegment(8, 0);
+        net.failSegment(8, 1);
+        const auto id = net.send(2, 12, 16);
+        runToQuiescence(s, net, 500'000);
+        const auto expected =
+            policy == HeaderPolicy::PreferLowest
+                ? net::MessageState::Failed
+                : net::MessageState::Delivered;
+        EXPECT_EQ(net.message(id).state, expected)
+            << "policy " << static_cast<int>(policy);
+    }
+}
+
+TEST(FaultDeathTest, CannotFaultAnOccupiedSegment)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(8, 2);
+    c.cyclePeriodMin = c.cyclePeriodMax = 1000; // freeze compaction
+    RmbNetwork net(s, c);
+    net.send(0, 4, 1'000);
+    s.run(2); // injection done: (0, top) occupied
+    EXPECT_DEATH(net.failSegment(0, 1), "free segment");
+    while (!net.quiescent())
+        s.run(1024);
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

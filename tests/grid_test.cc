@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for n-dimensional grids of RMB rings (the 3-D case the
+ * paper's section 4 names explicitly, plus higher dimensions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/grid.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+ringCfg(std::uint32_t k, std::uint64_t seed = 1)
+{
+    RmbConfig c;
+    c.numBuses = k;
+    c.seed = seed;
+    c.verify = VerifyLevel::Full;
+    return c;
+}
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 4'000'000)
+{
+    while (!net.quiescent() && s.now() < limit)
+        s.run(256);
+}
+
+TEST(Grid, CoordinatesAreMixedRadix)
+{
+    sim::Simulator s;
+    RmbGridNetwork net(s, {4, 3, 2}, ringCfg(2));
+    EXPECT_EQ(net.numNodes(), 24u);
+    EXPECT_EQ(net.numDims(), 3u);
+    // node 23 = 3 + 4*(2 + 3*1).
+    EXPECT_EQ(net.coordinate(23, 0), 3u);
+    EXPECT_EQ(net.coordinate(23, 1), 2u);
+    EXPECT_EQ(net.coordinate(23, 2), 1u);
+    EXPECT_EQ(net.coordinate(0, 2), 0u);
+}
+
+TEST(Grid, RingGeometry)
+{
+    sim::Simulator s;
+    RmbGridNetwork net(s, {4, 3, 2}, ringCfg(2));
+    EXPECT_EQ(net.lineRing(0, 0).numNodes(), 4u);
+    EXPECT_EQ(net.lineRing(1, 0).numNodes(), 3u);
+    EXPECT_EQ(net.lineRing(2, 0).numNodes(), 2u);
+    // Nodes in the same dim-0 line share a ring; others do not.
+    EXPECT_EQ(&net.lineRing(0, 0), &net.lineRing(0, 3));
+    EXPECT_NE(&net.lineRing(0, 0), &net.lineRing(0, 4));
+}
+
+TEST(Grid, ThreeDimensionalDelivery)
+{
+    sim::Simulator s;
+    RmbGridNetwork net(s, {4, 4, 4}, ringCfg(2));
+    EXPECT_EQ(net.numNodes(), 64u);
+    // (0,0,0) -> (3,2,1) = 3 + 4*2 + 16*1 = 27:
+    // legs of 3, 2 and 1 clockwise hops = 6 total.
+    const auto id = net.send(0, 27, 16);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 6.0);
+    EXPECT_EQ(net.multiLegMessages(), 1u);
+}
+
+TEST(Grid, SingleDimensionIsARing)
+{
+    sim::Simulator s;
+    RmbGridNetwork net(s, {8}, ringCfg(3));
+    EXPECT_EQ(net.numNodes(), 8u);
+    const auto id = net.send(5, 2, 16); // wraps: 5 hops
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 5.0);
+    EXPECT_EQ(net.multiLegMessages(), 0u);
+}
+
+TEST(Grid, RandomPermutations3D)
+{
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        sim::Simulator s;
+        RmbGridNetwork net(s, {4, 2, 2}, ringCfg(2, seed));
+        sim::Random rng(seed * 29);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        const auto r = workload::runBatch(net, pairs, 24);
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+    }
+}
+
+TEST(Grid, HigherDimensionsCutPathLength)
+{
+    // 64 nodes: 1-D ring vs 2-D 8x8 vs 3-D 4x4x4 mean hop counts
+    // must strictly decrease.
+    sim::Random rng(7);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(64, rng));
+    double mean_hops[3] = {0, 0, 0};
+    int which = 0;
+    for (const std::vector<std::uint32_t> &dims :
+         {std::vector<std::uint32_t>{64},
+          std::vector<std::uint32_t>{8, 8},
+          std::vector<std::uint32_t>{4, 4, 4}}) {
+        sim::Simulator s;
+        RmbConfig cfg = ringCfg(4);
+        cfg.verify = VerifyLevel::Off;
+        RmbGridNetwork net(s, dims, cfg);
+        const auto r = workload::runBatch(net, pairs, 16,
+                                          20'000'000);
+        ASSERT_TRUE(r.completed);
+        mean_hops[which++] = net.stats().pathLength.mean();
+    }
+    EXPECT_GT(mean_hops[0], mean_hops[1]);
+    EXPECT_GT(mean_hops[1], mean_hops[2]);
+}
+
+TEST(Grid, CompactionActiveInEveryDimension)
+{
+    sim::Simulator s;
+    RmbGridNetwork net(s, {4, 2, 2}, ringCfg(3));
+    for (net::NodeId i = 0; i < 16; ++i)
+        net.send(i, (i + 7) % 16, 300);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_GT(net.totalCompactionMoves(), 0u);
+}
+
+TEST(GridDeathTest, Validation)
+{
+    sim::Simulator s;
+    EXPECT_EXIT(RmbGridNetwork(s, {}, ringCfg(2)),
+                ::testing::ExitedWithCode(1), "dimension");
+    EXPECT_EXIT(RmbGridNetwork(s, {4, 1}, ringCfg(2)),
+                ::testing::ExitedWithCode(1), ">= 2");
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

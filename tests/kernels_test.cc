@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the application communication kernels and the k-ary
+ * n-cube baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/kary_ncube.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/kernels.hh"
+
+namespace rmb {
+namespace {
+
+using namespace rmb::workload;
+
+// ------------------------------------------------ kernel shapes
+
+TEST(Kernels, ButterflyStructure)
+{
+    const Kernel k = butterflyKernel(8);
+    ASSERT_EQ(k.phases.size(), 3u); // log2(8)
+    // Phase 0: exchange with i^1.
+    for (const auto &[src, dst] : k.phases[0].pairs)
+        EXPECT_EQ(src ^ 1u, dst);
+    // Every phase is a perfect matching: N messages, each node
+    // sends once and receives once.
+    for (const KernelPhase &phase : k.phases) {
+        EXPECT_EQ(phase.pairs.size(), 8u);
+        std::set<net::NodeId> srcs;
+        std::set<net::NodeId> dsts;
+        for (const auto &[src, dst] : phase.pairs) {
+            srcs.insert(src);
+            dsts.insert(dst);
+        }
+        EXPECT_EQ(srcs.size(), 8u);
+        EXPECT_EQ(dsts.size(), 8u);
+    }
+    EXPECT_EQ(k.numMessages(), 24u);
+}
+
+TEST(Kernels, AllToAllCoversEveryPair)
+{
+    const net::NodeId n = 6;
+    const Kernel k = allToAllKernel(n);
+    ASSERT_EQ(k.phases.size(), 5u); // N-1 rotations
+    std::set<std::pair<net::NodeId, net::NodeId>> seen;
+    for (const KernelPhase &phase : k.phases)
+        for (const auto &pair : phase.pairs)
+            seen.insert(pair);
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(n) * (n - 1));
+}
+
+TEST(Kernels, StencilPhaseShape)
+{
+    const Kernel k = stencilKernel(8, 3);
+    ASSERT_EQ(k.phases.size(), 3u);
+    // 2 messages per node per phase.
+    EXPECT_EQ(k.phases[0].pairs.size(), 16u);
+}
+
+TEST(Kernels, ReductionHalvesSenders)
+{
+    const Kernel k = reductionKernel(16);
+    ASSERT_EQ(k.phases.size(), 4u);
+    EXPECT_EQ(k.phases[0].pairs.size(), 8u);
+    EXPECT_EQ(k.phases[1].pairs.size(), 4u);
+    EXPECT_EQ(k.phases[2].pairs.size(), 2u);
+    EXPECT_EQ(k.phases[3].pairs.size(), 1u);
+    // The last phase delivers to the root (node 0).
+    EXPECT_EQ(k.phases[3].pairs[0].second, 0u);
+}
+
+TEST(Kernels, PrefixPhaseShape)
+{
+    const Kernel k = prefixKernel(8);
+    ASSERT_EQ(k.phases.size(), 3u);
+    EXPECT_EQ(k.phases[0].pairs.size(), 7u); // i -> i+1
+    EXPECT_EQ(k.phases[1].pairs.size(), 6u); // i -> i+2
+    EXPECT_EQ(k.phases[2].pairs.size(), 4u); // i -> i+4
+}
+
+TEST(Kernels, RunKernelOnRmbCompletes)
+{
+    for (const Kernel &kernel : allKernels(8)) {
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = 8;
+        cfg.numBuses = 3;
+        cfg.verify = core::VerifyLevel::Full;
+        core::RmbNetwork net(s, cfg);
+        const KernelResult r = runKernel(net, kernel, 16);
+        EXPECT_TRUE(r.completed) << kernel.name;
+        EXPECT_EQ(r.phaseTicks.size(), kernel.phases.size())
+            << kernel.name;
+        EXPECT_GT(r.makespan, 0u) << kernel.name;
+    }
+}
+
+TEST(Kernels, PhasesAreBarrierSeparated)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    const Kernel kernel = reductionKernel(8);
+    const KernelResult r = runKernel(net, kernel, 16);
+    ASSERT_TRUE(r.completed);
+    sim::Tick sum = 0;
+    for (const sim::Tick t : r.phaseTicks) {
+        EXPECT_GT(t, 0u);
+        sum += t;
+    }
+    EXPECT_EQ(sum, r.makespan);
+}
+
+// ------------------------------------------------ k-ary n-cube
+
+TEST(KaryNcube, GeometryAndNaming)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::KaryNcubeNetwork net(s, 4, 3, cfg);
+    EXPECT_EQ(net.numNodes(), 64u);
+    EXPECT_EQ(net.name(), "4-ary 3-cube");
+    // 2 directed links per node per dimension.
+    EXPECT_EQ(net.numLinks(), 64u * 3u * 2u);
+    EXPECT_EQ(net.digit(37, 0), 1u); // 37 = 1 + 1*4 + 2*16
+    EXPECT_EQ(net.digit(37, 1), 1u);
+    EXPECT_EQ(net.digit(37, 2), 2u);
+}
+
+TEST(KaryNcube, ShortWayAroundEachDimension)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::KaryNcubeNetwork net(s, 8, 1, cfg);
+    // 8-ary 1-cube = ring of 8 with both directions: 0 -> 6 goes
+    // backwards (2 hops), 0 -> 3 forwards (3 hops).
+    net.send(0, 6, 4);
+    while (!net.quiescent() && s.now() < 100'000)
+        s.run(256);
+    EXPECT_EQ(net.stats().pathLength.max(), 2.0);
+    net.send(0, 3, 4);
+    while (!net.quiescent() && s.now() < 200'000)
+        s.run(256);
+    EXPECT_EQ(net.stats().pathLength.max(), 3.0);
+}
+
+TEST(KaryNcube, MatchesHypercubeWhenRadixTwo)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::KaryNcubeNetwork net(s, 2, 4, cfg);
+    EXPECT_EQ(net.numNodes(), 16u);
+    // 0 -> 15: Hamming distance 4.
+    net.send(0, 15, 4);
+    while (!net.quiescent() && s.now() < 100'000)
+        s.run(256);
+    EXPECT_EQ(net.stats().pathLength.max(), 4.0);
+}
+
+TEST(KaryNcube, KernelTrafficCompletes)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::KaryNcubeNetwork net(s, 4, 2, cfg);
+    const KernelResult r =
+        runKernel(net, butterflyKernel(16), 16);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(KaryNcubeDeathTest, BadRadixFatal)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    EXPECT_EXIT(baseline::KaryNcubeNetwork(s, 1, 2, cfg),
+                ::testing::ExitedWithCode(1), "radix");
+}
+
+} // namespace
+} // namespace rmb

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for multicast/broadcast (the paper's section-1 extension)
+ * and multi-port PEs (the section-2.1 "enhanced" interface).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+cfg(std::uint32_t n, std::uint32_t k, std::uint64_t seed = 1)
+{
+    RmbConfig c;
+    c.numNodes = n;
+    c.numBuses = k;
+    c.seed = seed;
+    c.verify = VerifyLevel::Full;
+    return c;
+}
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 1'000'000)
+{
+    while (!net.quiescent() && s.now() < limit)
+        s.run(256);
+}
+
+// -------------------------------------------------- multicast
+
+TEST(Multicast, CarrierSpansToFarthestMember)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 3));
+    const auto id = net.multicast(2, {5, 9, 4}, 32);
+    runToQuiescence(s, net);
+    const auto &record = net.multicastRecord(id);
+    EXPECT_TRUE(record.complete);
+    // Farthest member clockwise from 2 is 9.
+    EXPECT_EQ(net.message(record.carrier).dst, 9u);
+    EXPECT_EQ(net.stats().pathLength.max(), 7.0);
+}
+
+TEST(Multicast, MembersDeliverInDistanceOrder)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 3));
+    const auto id = net.multicast(0, {4, 8, 12}, 64);
+    runToQuiescence(s, net);
+    const auto &record = net.multicastRecord(id);
+    ASSERT_TRUE(record.complete);
+    ASSERT_EQ(record.members.size(), 3u);
+    // deliveredAt parallels members {4, 8, 12}: increasing with
+    // distance, one flitDelay per extra hop.
+    EXPECT_LT(record.deliveredAt[0], record.deliveredAt[1]);
+    EXPECT_LT(record.deliveredAt[1], record.deliveredAt[2]);
+    EXPECT_EQ(record.deliveredAt[1] - record.deliveredAt[0], 4u);
+    // The farthest member's tap time equals the carrier delivery.
+    EXPECT_EQ(record.deliveredAt[2],
+              net.message(record.carrier).delivered);
+}
+
+TEST(Multicast, WrapAroundMembers)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(8, 2));
+    const auto id = net.multicast(6, {0, 2}, 16);
+    runToQuiescence(s, net);
+    const auto &record = net.multicastRecord(id);
+    EXPECT_TRUE(record.complete);
+    EXPECT_EQ(net.message(record.carrier).dst, 2u);
+}
+
+TEST(Multicast, CheaperThanRepeatedUnicast)
+{
+    // One multicast to 6 members vs 6 sequential unicasts from the
+    // same source (serialized by the single send port).
+    sim::Simulator s1;
+    RmbNetwork mc(s1, cfg(16, 3));
+    const auto gid = mc.multicast(0, {2, 4, 6, 8, 10, 12}, 64);
+    runToQuiescence(s1, mc);
+    const auto &record = mc.multicastRecord(gid);
+    sim::Tick mc_done = 0;
+    for (const auto t : record.deliveredAt)
+        mc_done = std::max(mc_done, t);
+
+    sim::Simulator s2;
+    RmbNetwork uc(s2, cfg(16, 3));
+    for (net::NodeId member : {2, 4, 6, 8, 10, 12})
+        uc.send(0, member, 64);
+    runToQuiescence(s2, uc);
+    sim::Tick uc_done = 0;
+    for (net::MessageId id = 1; id <= uc.numMessages(); ++id)
+        uc_done = std::max(uc_done, uc.message(id).delivered);
+
+    EXPECT_LT(mc_done * 3, uc_done);
+}
+
+TEST(Multicast, BroadcastReachesEveryOtherNode)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(8, 2));
+    const auto id = net.broadcast(3, 32);
+    runToQuiescence(s, net);
+    const auto &record = net.multicastRecord(id);
+    ASSERT_TRUE(record.complete);
+    EXPECT_EQ(record.members.size(), 7u);
+    for (const auto t : record.deliveredAt)
+        EXPECT_GT(t, 0u);
+    // Carrier spans the whole ring: 7 hops.
+    EXPECT_EQ(net.stats().pathLength.max(), 7.0);
+    EXPECT_EQ(net.rmbStats().multicasts, 1u);
+    EXPECT_EQ(net.rmbStats().multicastMemberLatency.count(), 7u);
+}
+
+TEST(Multicast, CoexistsWithUnicastTraffic)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 4));
+    net.broadcast(0, 128);
+    net.send(5, 9, 32);
+    net.send(10, 2, 32);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.stats().delivered, 3u);
+    EXPECT_TRUE(net.multicastRecord(1).complete);
+}
+
+TEST(MulticastDeathTest, Validation)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(8, 2));
+    EXPECT_DEATH(net.multicast(0, {}, 8), "members");
+    EXPECT_DEATH(net.multicast(0, {0, 3}, 8), "source");
+    EXPECT_DEATH(net.multicast(0, {9}, 8), "range");
+}
+
+// -------------------------------------------------- multi-port PEs
+
+TEST(MultiPort, ExtraSendPortsPipelineDistinctDestinations)
+{
+    // A burst from one source to *distinct* destinations: with one
+    // send port the circuits serialize; with three ports (and
+    // compaction freeing the top bus between injections) they
+    // overlap.  Same-destination bursts would stay receiver-bound -
+    // the receive port serializes them regardless of send ports.
+    sim::Tick one_port = 0;
+    sim::Tick three_ports = 0;
+    for (const std::uint32_t ports : {1u, 3u}) {
+        sim::Simulator s;
+        RmbConfig c = cfg(16, 4);
+        c.sendPorts = ports;
+        RmbNetwork net(s, c);
+        net.send(0, 4, 600);
+        net.send(0, 8, 600);
+        net.send(0, 12, 600);
+        runToQuiescence(s, net);
+        sim::Tick last = 0;
+        for (net::MessageId id = 1; id <= net.numMessages(); ++id)
+            last = std::max(last, net.message(id).delivered);
+        (ports == 1 ? one_port : three_ports) = last;
+    }
+    EXPECT_LT(three_ports * 2, one_port);
+}
+
+TEST(MultiPort, TwoReceivePortsAcceptConcurrentStreams)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(16, 4);
+    c.receivePorts = 2;
+    RmbNetwork net(s, c);
+    const auto a = net.send(0, 8, 2'000);
+    s.runFor(100);
+    const auto b = net.send(12, 8, 100);
+    runToQuiescence(s, net);
+    // b must have been accepted while a was still streaming.
+    EXPECT_EQ(net.message(b).nacks, 0u);
+    EXPECT_LT(net.message(b).delivered, net.message(a).delivered);
+    EXPECT_EQ(net.message(a).state, net::MessageState::Delivered);
+}
+
+TEST(MultiPort, SingleReceivePortNacksTheSecondStream)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, cfg(16, 4));
+    net.send(0, 8, 2'000);
+    s.runFor(100);
+    const auto b = net.send(12, 8, 100);
+    runToQuiescence(s, net);
+    EXPECT_GE(net.message(b).nacks, 1u);
+}
+
+TEST(MultiPort, DistinctDestinationsOverlapFully)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(16, 4);
+    c.sendPorts = 3;
+    RmbNetwork net(s, c);
+    net.send(0, 4, 1'000);
+    net.send(0, 8, 1'000);
+    net.send(0, 12, 1'000);
+    s.runFor(600);
+    // All three circuits from node 0 open at once.
+    EXPECT_EQ(net.stats().activeCircuits.current(), 3);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+}
+
+TEST(MultiPortDeathTest, ZeroPortsFatal)
+{
+    sim::Simulator s;
+    RmbConfig c = cfg(8, 2);
+    c.sendPorts = 0;
+    EXPECT_EXIT(RmbNetwork(s, c), ::testing::ExitedWithCode(1),
+                "port");
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

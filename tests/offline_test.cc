@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the offline scheduling bounds (competitiveness study).
+ */
+
+#include <gtest/gtest.h>
+
+#include "offline/schedule.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace offline {
+namespace {
+
+TEST(TimingModel, MessageTimeComposition)
+{
+    TimingModel t;
+    t.headerHopDelay = 4;
+    t.ackHopDelay = 2;
+    t.flitDelay = 1;
+    // 3 hops, 10 flits: header 12 + hack 6 + stream (10+1+3) + fack 6.
+    EXPECT_EQ(t.messageTime(3, 10), 12u + 6u + 14u + 6u);
+    // Delivery excludes the trailing Fack walk.
+    EXPECT_EQ(t.deliveryTime(3, 10), 12u + 6u + 14u);
+}
+
+TEST(MinRounds, MatchesMaxLoadOverK)
+{
+    // Rotation by 6 on a 16-ring: every gap loaded 6x.
+    const auto pairs = workload::toPairs(workload::rotation(16, 6));
+    EXPECT_EQ(minRounds(16, pairs, 2), 3u);
+    EXPECT_EQ(minRounds(16, pairs, 3), 2u);
+    EXPECT_EQ(minRounds(16, pairs, 6), 1u);
+    EXPECT_EQ(minRounds(16, pairs, 7), 1u);
+}
+
+TEST(GreedySchedule, DisjointArcsOneRound)
+{
+    const workload::PairList pairs{{0, 2}, {2, 4}, {4, 6}, {6, 0}};
+    const auto s = greedySchedule(8, pairs, 1);
+    EXPECT_EQ(s.numRounds, 1u);
+}
+
+TEST(GreedySchedule, SerializesOverloadedGap)
+{
+    // Three arcs across gap 0 with k = 1 need 3 rounds.
+    const workload::PairList pairs{{0, 1}, {7, 2}, {6, 3}};
+    const auto s = greedySchedule(8, pairs, 1);
+    EXPECT_EQ(s.numRounds, 3u);
+    EXPECT_EQ(s.round.size(), 3u);
+}
+
+TEST(GreedySchedule, RespectsCapacityWithinRounds)
+{
+    sim::Random rng(5);
+    const auto pairs = workload::toPairs(
+        workload::randomFullTraffic(16, rng));
+    const std::uint32_t k = 3;
+    const auto s = greedySchedule(16, pairs, k);
+    // Re-check feasibility: per round, per gap usage <= k.
+    std::vector<std::vector<std::uint32_t>> usage(
+        s.numRounds, std::vector<std::uint32_t>(16, 0));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (net::NodeId g = pairs[i].first; g != pairs[i].second;
+             g = (g + 1) % 16) {
+            ++usage[s.round[i]][g];
+        }
+    }
+    for (const auto &round : usage)
+        for (std::uint32_t u : round)
+            EXPECT_LE(u, k);
+}
+
+TEST(GreedySchedule, NeverWorseThanLoadBoundByMuch)
+{
+    // First-fit colouring of circular arcs is within a small factor
+    // of the lower bound for random permutations.
+    sim::Random rng(9);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(32, rng));
+        const std::uint32_t k = 4;
+        const auto s = greedySchedule(32, pairs, k);
+        const auto lb = minRounds(32, pairs, k);
+        EXPECT_GE(s.numRounds, lb);
+        EXPECT_LE(s.numRounds, 3 * lb + 1) << "trial " << trial;
+    }
+}
+
+TEST(LowerBound, EmptyBatchIsZero)
+{
+    TimingModel t;
+    EXPECT_EQ(lowerBoundTicks(8, {}, 2, 16, t), 0u);
+    EXPECT_EQ(greedyMakespanTicks(8, {}, 2, 16, t), 0u);
+}
+
+TEST(LowerBound, SingleMessageIsItsOwnBound)
+{
+    TimingModel t;
+    const workload::PairList pairs{{0, 5}};
+    EXPECT_EQ(lowerBoundTicks(8, pairs, 4, 16, t),
+              t.deliveryTime(5, 16));
+}
+
+TEST(LowerBound, NeverExceedsGreedyMakespan)
+{
+    TimingModel t;
+    sim::Random rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+            EXPECT_LE(lowerBoundTicks(16, pairs, k, 16, t),
+                      greedyMakespanTicks(16, pairs, k, 16, t))
+                << "trial " << trial << " k=" << k;
+        }
+    }
+}
+
+TEST(GreedyMakespan, MoreBusesNeverSlower)
+{
+    TimingModel t;
+    sim::Random rng(33);
+    const auto pairs = workload::toPairs(
+        workload::randomFullTraffic(24, rng));
+    sim::Tick prev = UINT64_MAX;
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+        const auto ms = greedyMakespanTicks(24, pairs, k, 16, t);
+        EXPECT_LE(ms, prev) << "k=" << k;
+        prev = ms;
+    }
+}
+
+
+TEST(OptimalRounds, MatchesHandComputedCases)
+{
+    // Disjoint arcs: one round.
+    EXPECT_EQ(optimalRounds(8, {{0, 2}, {2, 4}, {4, 6}}, 1), 1u);
+    // Three arcs over one gap, k = 1: three rounds.
+    EXPECT_EQ(optimalRounds(8, {{0, 1}, {7, 2}, {6, 3}}, 1), 3u);
+    // Same with k = 3: one round.
+    EXPECT_EQ(optimalRounds(8, {{0, 1}, {7, 2}, {6, 3}}, 3), 1u);
+    EXPECT_EQ(optimalRounds(8, {}, 2), 0u);
+}
+
+TEST(OptimalRounds, CircularArcGapBeatsTheLoadBound)
+{
+    // The classic odd-cycle example where the chromatic number
+    // exceeds the clique bound: on a 5-ring, length-2 arcs from
+    // every node form a C5 overlap graph - max load 2 but 3 rounds
+    // needed (the bandwidth lower bound is NOT tight here).
+    const workload::PairList pairs{
+        {0, 2}, {1, 3}, {2, 4}, {3, 0}, {4, 1}};
+    EXPECT_EQ(workload::maxRingLoad(5, pairs), 2u);
+    EXPECT_EQ(minRounds(5, pairs, 1), 2u);
+    EXPECT_EQ(optimalRounds(5, pairs, 1), 3u);
+}
+
+TEST(OptimalRounds, SandwichedBetweenBounds)
+{
+    sim::Random rng(41);
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(10, rng));
+        for (std::uint32_t k : {1u, 2u, 3u}) {
+            const auto lb = minRounds(10, pairs, k);
+            const auto greedy = greedySchedule(10, pairs, k);
+            const auto opt = optimalRounds(10, pairs, k);
+            if (opt == 0)
+                continue; // budget exhausted (rare at this size)
+            EXPECT_GE(opt, lb) << "trial " << trial << " k=" << k;
+            EXPECT_LE(opt, greedy.numRounds)
+                << "trial " << trial << " k=" << k;
+        }
+    }
+}
+
+TEST(OptimalRounds, BudgetExhaustionReturnsZero)
+{
+    // A case where the bounds do not coincide (so search is really
+    // needed - the C5 example) with a one-step budget.
+    const workload::PairList pairs{
+        {0, 2}, {1, 3}, {2, 4}, {3, 0}, {4, 1}};
+    EXPECT_EQ(optimalRounds(5, pairs, 1, 1), 0u);
+}
+
+} // namespace
+} // namespace offline
+} // namespace rmb

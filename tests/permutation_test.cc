@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for permutation workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace workload {
+namespace {
+
+TEST(Permutation, IdentityIsPermutation)
+{
+    const Permutation p = identity(16);
+    EXPECT_TRUE(isPermutation(p));
+    for (net::NodeId i = 0; i < 16; ++i)
+        EXPECT_EQ(p[i], i);
+}
+
+TEST(Permutation, IsPermutationRejectsDuplicates)
+{
+    EXPECT_FALSE(isPermutation({0, 1, 1, 3}));
+    EXPECT_FALSE(isPermutation({0, 1, 2, 4}));
+    EXPECT_TRUE(isPermutation({3, 1, 0, 2}));
+}
+
+TEST(Permutation, RandomPermutationValid)
+{
+    sim::Random rng(1);
+    for (int trial = 0; trial < 20; ++trial)
+        EXPECT_TRUE(isPermutation(randomPermutation(32, rng)));
+}
+
+TEST(Permutation, RandomFullTrafficHasNoFixedPoints)
+{
+    sim::Random rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Permutation p = randomFullTraffic(16, rng);
+        EXPECT_TRUE(isPermutation(p));
+        for (net::NodeId i = 0; i < 16; ++i)
+            EXPECT_NE(p[i], i);
+    }
+}
+
+TEST(Permutation, BitReversalKnownValues)
+{
+    const Permutation p = bitReversal(8);
+    EXPECT_TRUE(isPermutation(p));
+    EXPECT_EQ(p[0], 0u);
+    EXPECT_EQ(p[1], 4u);
+    EXPECT_EQ(p[2], 2u);
+    EXPECT_EQ(p[3], 6u);
+    EXPECT_EQ(p[6], 3u);
+}
+
+TEST(Permutation, BitReversalIsInvolution)
+{
+    const Permutation p = bitReversal(64);
+    for (net::NodeId i = 0; i < 64; ++i)
+        EXPECT_EQ(p[p[i]], i);
+}
+
+TEST(Permutation, PerfectShuffleKnownValues)
+{
+    // Shuffle on 8 nodes: i -> rotate-left-3bits(i).
+    const Permutation p = perfectShuffle(8);
+    EXPECT_TRUE(isPermutation(p));
+    EXPECT_EQ(p[1], 2u);
+    EXPECT_EQ(p[4], 1u);  // 100 -> 001
+    EXPECT_EQ(p[5], 3u);  // 101 -> 011
+    EXPECT_EQ(p[7], 7u);
+}
+
+TEST(Permutation, TransposeKnownValues)
+{
+    // N = 16, 4 bits: (hi, lo) -> (lo, hi).
+    const Permutation p = transpose(16);
+    EXPECT_TRUE(isPermutation(p));
+    EXPECT_EQ(p[0b0111], 0b1101u);
+    EXPECT_EQ(p[0b0101], 0b0101u);
+    for (net::NodeId i = 0; i < 16; ++i)
+        EXPECT_EQ(p[p[i]], i);
+}
+
+TEST(Permutation, RotationWraps)
+{
+    const Permutation p = rotation(10, 3);
+    EXPECT_TRUE(isPermutation(p));
+    EXPECT_EQ(p[0], 3u);
+    EXPECT_EQ(p[9], 2u);
+}
+
+TEST(Permutation, BitComplementIsInvolution)
+{
+    const Permutation p = bitComplement(32);
+    EXPECT_TRUE(isPermutation(p));
+    for (net::NodeId i = 0; i < 32; ++i) {
+        EXPECT_EQ(p[i], 31u - i);
+        EXPECT_EQ(p[p[i]], i);
+    }
+}
+
+TEST(Permutation, ToPairsDropsFixedPoints)
+{
+    Permutation p = identity(8);
+    p[2] = 5;
+    p[5] = 2;
+    const PairList pairs = toPairs(p);
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0], (std::pair<net::NodeId, net::NodeId>{2, 5}));
+    EXPECT_EQ(pairs[1], (std::pair<net::NodeId, net::NodeId>{5, 2}));
+}
+
+TEST(Permutation, PartialPermutationRespectsH)
+{
+    sim::Random rng(3);
+    for (net::NodeId h : {1u, 4u, 8u, 16u}) {
+        const PairList pairs = randomPartialPermutation(16, h, rng);
+        EXPECT_EQ(pairs.size(), h);
+        std::set<net::NodeId> srcs;
+        std::set<net::NodeId> dsts;
+        for (const auto &[s, d] : pairs) {
+            EXPECT_NE(s, d);
+            srcs.insert(s);
+            dsts.insert(d);
+        }
+        EXPECT_EQ(srcs.size(), h);
+        EXPECT_EQ(dsts.size(), h);
+    }
+}
+
+TEST(Permutation, MaxRingLoadSingleMessage)
+{
+    // One message 0 -> 3 on an 8-ring loads gaps 0, 1, 2.
+    const PairList pairs{{0, 3}};
+    EXPECT_EQ(maxRingLoad(8, pairs), 1u);
+}
+
+TEST(Permutation, MaxRingLoadOverlap)
+{
+    // 0->4 and 1->5 overlap on gaps 1..3.
+    const PairList pairs{{0, 4}, {1, 5}};
+    EXPECT_EQ(maxRingLoad(8, pairs), 2u);
+}
+
+TEST(Permutation, MaxRingLoadWrapAround)
+{
+    // 6 -> 2 wraps through gaps 6, 7, 0, 1.
+    const PairList pairs{{6, 2}, {0, 2}};
+    EXPECT_EQ(maxRingLoad(8, pairs), 2u);
+}
+
+TEST(Permutation, MaxRingLoadRotationIsUniform)
+{
+    // Rotation by s loads every gap exactly s times.
+    const PairList pairs = toPairs(rotation(16, 5));
+    EXPECT_EQ(maxRingLoad(16, pairs), 5u);
+}
+
+TEST(Permutation, TornadoLoadIsHalfN)
+{
+    const PairList pairs = toPairs(rotation(16, 8));
+    EXPECT_EQ(maxRingLoad(16, pairs), 8u);
+}
+
+
+TEST(Permutation, HRelationDegreesExact)
+{
+    sim::Random rng(55);
+    for (std::uint32_t h : {1u, 2u, 4u}) {
+        const PairList pairs = randomHRelation(12, h, rng);
+        EXPECT_EQ(pairs.size(), 12u * h);
+        std::vector<std::uint32_t> out(12, 0);
+        std::vector<std::uint32_t> in(12, 0);
+        for (const auto &[src, dst] : pairs) {
+            EXPECT_NE(src, dst);
+            ++out[src];
+            ++in[dst];
+        }
+        for (net::NodeId i = 0; i < 12; ++i) {
+            EXPECT_EQ(out[i], h) << "node " << i;
+            EXPECT_EQ(in[i], h) << "node " << i;
+        }
+    }
+}
+
+TEST(PermutationDeathTest, BitReversalNeedsPowerOfTwo)
+{
+    EXPECT_DEATH(bitReversal(12), "2\\^m");
+}
+
+TEST(PermutationDeathTest, TransposeNeedsEvenBits)
+{
+    EXPECT_DEATH(transpose(8), "even");
+}
+
+TEST(PermutationDeathTest, PartialNeedsHLeqN)
+{
+    sim::Random rng(1);
+    EXPECT_DEATH(randomPartialPermutation(8, 9, rng), "h <= N");
+}
+
+} // namespace
+} // namespace workload
+} // namespace rmb

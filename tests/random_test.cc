@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** RNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace rmb {
+namespace sim {
+namespace {
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformIntInBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniformInt(17), 17u);
+}
+
+TEST(Random, UniformIntBoundOneIsZero)
+{
+    Random r(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Random, UniformIntCoversRange)
+{
+    Random r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformRangeInclusive)
+{
+    Random r(3);
+    bool lo_seen = false;
+    bool hi_seen = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniformRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        lo_seen |= v == 5;
+        hi_seen |= v == 9;
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Random, UniformRealInHalfOpenUnit)
+{
+    Random r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, UniformRealMeanNearHalf)
+{
+    Random r(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniformReal();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Random, BernoulliExtremes)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Random, BernoulliFrequency)
+{
+    Random r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, GeometricAtPOneIsZero)
+{
+    Random r(19);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Random, GeometricMeanMatches)
+{
+    // Mean of the number of failures before success = (1-p)/p.
+    Random r(23);
+    const double p = 0.2;
+    double sum = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.15);
+}
+
+TEST(Random, ShuffleIsAPermutation)
+{
+    Random r(29);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    r.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Random, ShuffleActuallyShuffles)
+{
+    Random r(31);
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    const auto before = v;
+    r.shuffle(v);
+    EXPECT_NE(v, before);
+}
+
+TEST(Random, ForkProducesIndependentStream)
+{
+    Random a(37);
+    Random child = a.fork();
+    // The child must not replay the parent's stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RandomDeathTest, UniformIntZeroPanics)
+{
+    Random r(1);
+    EXPECT_DEATH(r.uniformInt(0), "uniformInt");
+}
+
+TEST(RandomDeathTest, BadRangePanics)
+{
+    Random r(1);
+    EXPECT_DEATH(r.uniformRange(9, 5), "uniformRange");
+}
+
+} // namespace
+} // namespace sim
+} // namespace rmb

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the report module (JSON stats + utilization heatmap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/multibus.hh"
+#include "report/report.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+
+namespace rmb {
+namespace report {
+namespace {
+
+TEST(Report, JsonContainsCommonCounters)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    net.send(0, 4, 16);
+    while (!net.quiescent())
+        s.run(256);
+    const std::string json = statsToJson(net, s.now());
+    EXPECT_NE(json.find("\"network\":\"RMB(ring)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"injected\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"delivered\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"totalLatency\""), std::string::npos);
+    EXPECT_NE(json.find("\"rmb\""), std::string::npos);
+    EXPECT_NE(json.find("\"compactionMoves\""), std::string::npos);
+}
+
+TEST(Report, JsonBalancedBraces)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    const std::string json = statsToJson(net, s.now());
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Report, EmptyStatsEmitNullNotNan)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 2;
+    core::RmbNetwork net(s, cfg);
+    const std::string json = statsToJson(net, s.now());
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\":null"), std::string::npos);
+}
+
+TEST(Report, BaselineNetworksHaveNoRmbSection)
+{
+    sim::Simulator s;
+    baseline::CircuitConfig cfg;
+    baseline::MultiBusNetwork net(s, 8, 2, cfg);
+    const std::string json = statsToJson(net, s.now());
+    EXPECT_EQ(json.find("\"rmb\""), std::string::npos);
+    EXPECT_NE(json.find("\"network\":\"MultiBus\""),
+              std::string::npos);
+}
+
+TEST(Report, HeatmapShowsFaultsAndLoad)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numBuses = 3;
+    core::RmbNetwork net(s, cfg);
+    net.failSegment(2, 1);
+    net.send(0, 4, 4000);
+    s.runFor(3000);
+    std::ostringstream oss;
+    utilizationHeatmap(oss, net, s.now());
+    const std::string out = oss.str();
+    // One row per level, top marked.
+    EXPECT_NE(out.find("L2 (top)|"), std::string::npos);
+    EXPECT_NE(out.find("L0      |"), std::string::npos);
+    // The faulted cell renders as X.
+    EXPECT_NE(out.find('X'), std::string::npos);
+    // Some cell shows heavy utilization.
+    EXPECT_TRUE(out.find('@') != std::string::npos ||
+                out.find('%') != std::string::npos ||
+                out.find('#') != std::string::npos);
+    while (!net.quiescent())
+        s.run(1024);
+}
+
+} // namespace
+} // namespace report
+} // namespace rmb

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace rmb {
+namespace sim {
+namespace {
+
+TEST(SampleStat, EmptyState)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_TRUE(std::isnan(s.mean()));
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+}
+
+TEST(SampleStat, SingleSample)
+{
+    SampleStat s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.0);
+    EXPECT_EQ(s.min(), 4.0);
+    EXPECT_EQ(s.max(), 4.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.percentile(0), 4.0);
+    EXPECT_EQ(s.percentile(100), 4.0);
+}
+
+TEST(SampleStat, MomentsMatchClosedForm)
+{
+    SampleStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    // Population variance is 4; sample variance = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStat, PercentilesInterpolate)
+{
+    SampleStat s;
+    for (int i = 1; i <= 5; ++i)
+        s.add(static_cast<double>(i) * 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);
+}
+
+TEST(SampleStat, PercentileUnsortedInput)
+{
+    SampleStat s;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+}
+
+TEST(SampleStat, RetentionOffStillExactMoments)
+{
+    SampleStat s(false);
+    for (int i = 0; i < 1000; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_EQ(s.count(), 1000u);
+    EXPECT_NEAR(s.mean(), 499.5, 1e-9);
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+}
+
+TEST(SampleStat, ResetClears)
+{
+    SampleStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(std::isnan(s.mean()));
+    s.add(5.0);
+    EXPECT_EQ(s.mean(), 5.0);
+}
+
+TEST(SampleStatDeathTest, BadPercentilePanics)
+{
+    SampleStat s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(101.0), "percentile");
+}
+
+TEST(BusyTracker, StartsFree)
+{
+    BusyTracker t;
+    EXPECT_FALSE(t.busy());
+    EXPECT_EQ(t.busyTicks(100), 0u);
+    EXPECT_EQ(t.utilization(100), 0.0);
+}
+
+TEST(BusyTracker, AccumulatesBusyWindows)
+{
+    BusyTracker t;
+    t.setBusy(10);
+    t.setFree(30);
+    t.setBusy(50);
+    t.setFree(60);
+    EXPECT_EQ(t.busyTicks(100), 30u);
+    EXPECT_DOUBLE_EQ(t.utilization(100), 0.3);
+}
+
+TEST(BusyTracker, OpenWindowCountsUpToNow)
+{
+    BusyTracker t;
+    t.setBusy(40);
+    EXPECT_EQ(t.busyTicks(100), 60u);
+    EXPECT_DOUBLE_EQ(t.utilization(100), 0.6);
+    EXPECT_TRUE(t.busy());
+}
+
+TEST(BusyTracker, RedundantEdgesIgnored)
+{
+    BusyTracker t;
+    t.setBusy(10);
+    t.setBusy(20); // no-op
+    t.setFree(30);
+    t.setFree(40); // no-op
+    EXPECT_EQ(t.busyTicks(50), 20u);
+}
+
+TEST(BusyTracker, ZeroWindowUtilizationIsZero)
+{
+    BusyTracker t;
+    EXPECT_EQ(t.utilization(0), 0.0);
+}
+
+TEST(LevelTracker, TracksCurrentAndMax)
+{
+    LevelTracker t;
+    t.adjust(0, 2);
+    t.adjust(10, 3);
+    t.adjust(20, -4);
+    EXPECT_EQ(t.current(), 1);
+    EXPECT_EQ(t.maximum(), 5);
+}
+
+TEST(LevelTracker, TimeWeightedAverage)
+{
+    LevelTracker t;
+    t.set(0, 0);
+    t.set(10, 4); // level 0 over [0,10)
+    t.set(30, 2); // level 4 over [10,30)
+    // Over [0,40): (0*10 + 4*20 + 2*10)/40 = 2.5
+    EXPECT_DOUBLE_EQ(t.average(40), 2.5);
+}
+
+TEST(LevelTracker, AverageAtZeroIsCurrent)
+{
+    LevelTracker t;
+    t.set(0, 7);
+    EXPECT_DOUBLE_EQ(t.average(0), 7.0);
+}
+
+TEST(LevelTrackerDeathTest, TimeBackwardsPanics)
+{
+    LevelTracker t;
+    t.set(10, 1);
+    EXPECT_DEATH(t.set(5, 2), "backwards");
+}
+
+} // namespace
+} // namespace sim
+} // namespace rmb

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the Table-1 status register, including the full
+ * make-before-break transition sequences of Figure 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/status_register.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+TEST(StatusCodes, Table1LegalitySweep)
+{
+    // Table 1: 000,001,010,011,100,110 legal; 101,111 not allowed.
+    EXPECT_TRUE(statusLegal(0b000));
+    EXPECT_TRUE(statusLegal(0b001));
+    EXPECT_TRUE(statusLegal(0b010));
+    EXPECT_TRUE(statusLegal(0b011));
+    EXPECT_TRUE(statusLegal(0b100));
+    EXPECT_FALSE(statusLegal(0b101));
+    EXPECT_TRUE(statusLegal(0b110));
+    EXPECT_FALSE(statusLegal(0b111));
+    EXPECT_FALSE(statusLegal(0b1000));
+}
+
+TEST(StatusCodes, NamesMatchTable1)
+{
+    EXPECT_EQ(statusName(0b000), "unused");
+    EXPECT_EQ(statusName(0b001), "from-below");
+    EXPECT_EQ(statusName(0b010), "straight");
+    EXPECT_EQ(statusName(0b011), "below+straight");
+    EXPECT_EQ(statusName(0b100), "from-above");
+    EXPECT_EQ(statusName(0b110), "above+straight");
+    EXPECT_EQ(statusName(0b101), "ILLEGAL");
+    EXPECT_EQ(statusName(0b111), "ILLEGAL");
+}
+
+TEST(StatusRegister, StartsUnused)
+{
+    StatusRegister r;
+    EXPECT_TRUE(r.unused());
+    EXPECT_EQ(r.numSources(), 0);
+    EXPECT_EQ(r.status(), PortStatus::Unused);
+}
+
+TEST(StatusRegister, SingleSourceConnections)
+{
+    StatusRegister below;
+    below.connect(SourceDir::Below);
+    EXPECT_EQ(below.status(), PortStatus::FromBelow);
+
+    StatusRegister straight;
+    straight.connect(SourceDir::Straight);
+    EXPECT_EQ(straight.status(), PortStatus::Straight);
+
+    StatusRegister above;
+    above.connect(SourceDir::Above);
+    EXPECT_EQ(above.status(), PortStatus::FromAbove);
+}
+
+TEST(StatusRegister, MakeBeforeBreakDualCodes)
+{
+    // The two legal dual-source states of Table 1.
+    StatusRegister r1;
+    r1.connect(SourceDir::Straight);
+    r1.connect(SourceDir::Below);
+    EXPECT_EQ(r1.status(), PortStatus::FromBelowAndStraight);
+    EXPECT_EQ(r1.numSources(), 2);
+
+    StatusRegister r2;
+    r2.connect(SourceDir::Straight);
+    r2.connect(SourceDir::Above);
+    EXPECT_EQ(r2.status(), PortStatus::FromAboveAndStraight);
+}
+
+TEST(StatusRegisterDeathTest, AboveAndBelowIsIllegal)
+{
+    // 101 is "Not allowed" in Table 1.
+    StatusRegister r;
+    r.connect(SourceDir::Below);
+    EXPECT_DEATH(r.connect(SourceDir::Above), "illegal");
+}
+
+TEST(StatusRegisterDeathTest, TripleSourceIsIllegal)
+{
+    StatusRegister r;
+    r.connect(SourceDir::Below);
+    r.connect(SourceDir::Straight);
+    EXPECT_DEATH(r.connect(SourceDir::Above), "illegal");
+}
+
+TEST(StatusRegisterDeathTest, DoubleConnectPanics)
+{
+    StatusRegister r;
+    r.connect(SourceDir::Straight);
+    EXPECT_DEATH(r.connect(SourceDir::Straight), "already");
+}
+
+TEST(StatusRegisterDeathTest, DisconnectAbsentPanics)
+{
+    StatusRegister r;
+    EXPECT_DEATH(r.disconnect(SourceDir::Below), "not connected");
+}
+
+TEST(StatusRegister, DisconnectRestoresSingleSource)
+{
+    StatusRegister r;
+    r.connect(SourceDir::Straight);
+    r.connect(SourceDir::Below);
+    r.disconnect(SourceDir::Straight);
+    EXPECT_EQ(r.status(), PortStatus::FromBelow);
+    r.disconnect(SourceDir::Below);
+    EXPECT_TRUE(r.unused());
+}
+
+TEST(StatusRegister, ClearForcesUnused)
+{
+    StatusRegister r;
+    r.connect(SourceDir::Above);
+    r.clear();
+    EXPECT_TRUE(r.unused());
+}
+
+/**
+ * Figure 7's transition condition (a): the bus on level l goes
+ * straight through both switches; moving it down means switch i's
+ * port l-1 goes 000 -> 100 (from above) while port l returns to 000,
+ * and switch i+1's port l goes 010 -> 110 -> 010 ... expressed here
+ * on the registers of the two ports involved at one INC.
+ */
+TEST(StatusRegister, Figure7StraightDownSequence)
+{
+    // Output l: receiving straight.  Output l-1: unused.
+    StatusRegister out_l;
+    StatusRegister out_lm1;
+    out_l.connect(SourceDir::Straight);
+
+    // Make: output l-1 additionally receives "from above" (input l).
+    out_lm1.connect(SourceDir::Above);
+    EXPECT_EQ(out_lm1.status(), PortStatus::FromAbove);
+    EXPECT_EQ(out_l.status(), PortStatus::Straight);
+
+    // Break: output l releases.
+    out_l.disconnect(SourceDir::Straight);
+    EXPECT_TRUE(out_l.unused());
+    EXPECT_EQ(out_lm1.status(), PortStatus::FromAbove);
+}
+
+/**
+ * Figure 7 downstream view: while the upstream INC moves the bus
+ * from input l to input l-1, the downstream output port passes
+ * through the dual code (make) and back to a single code (break).
+ */
+TEST(StatusRegister, Figure7DownstreamDualSequence)
+{
+    StatusRegister out;                    // downstream output at l
+    out.connect(SourceDir::Straight);      // 010: from input l
+    out.connect(SourceDir::Below);         // make: 011
+    EXPECT_EQ(out.status(), PortStatus::FromBelowAndStraight);
+    out.disconnect(SourceDir::Straight);   // break: 001
+    EXPECT_EQ(out.status(), PortStatus::FromBelow);
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the constructed INC switch structure (Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hh"
+#include "analysis/switch_structure.hh"
+
+namespace rmb {
+namespace analysis {
+namespace {
+
+TEST(SwitchStructure, ConnectivityMatchesFigure6)
+{
+    const SwitchStructure sw(4);
+    // Output l reachable from inputs l-1, l, l+1 only.
+    for (std::uint32_t in = 0; in < 4; ++in) {
+        for (std::uint32_t out = 0; out < 4; ++out) {
+            const bool expected =
+                in + 1 == out || in == out || in == out + 1;
+            EXPECT_EQ(sw.connects(in, out), expected)
+                << "in=" << in << " out=" << out;
+        }
+    }
+}
+
+TEST(SwitchStructure, ExactCrossPointsIs3kMinus2)
+{
+    for (std::uint32_t k : {1u, 2u, 3u, 4u, 8u, 16u}) {
+        const SwitchStructure sw(k);
+        EXPECT_EQ(sw.interIncCrossPoints(), 3 * k - 2) << "k=" << k;
+        EXPECT_EQ(sw.peCrossPoints(), 2 * k) << "k=" << k;
+    }
+}
+
+TEST(SwitchStructure, PaperFormulaIsTheAsymptote)
+{
+    // The paper's 3*N*k over-counts by exactly 2*N (the boundary
+    // ports); the ratio approaches 1 as k grows.
+    for (std::uint64_t k : {2ull, 4ull, 16ull, 32ull}) {
+        const auto exact = exactRmbCrossPoints(32, k);
+        const auto paper = rmbCosts(32, k).crossPoints;
+        EXPECT_EQ(paper - exact, 2ull * 32ull) << "k=" << k;
+    }
+    EXPECT_GT(static_cast<double>(exactRmbCrossPoints(128, 64)) /
+                  static_cast<double>(
+                      rmbCosts(128, 64).crossPoints),
+              0.98);
+}
+
+TEST(SwitchStructure, PeAccessAddsTwoKPerNode)
+{
+    EXPECT_EQ(exactRmbCrossPoints(16, 4, true) -
+                  exactRmbCrossPoints(16, 4, false),
+              16ull * 8ull);
+}
+
+TEST(SwitchStructure, StagesToReachIsLevelDistance)
+{
+    // The +-1 switch moves a signal one level per INC stage: the
+    // minimum stages from input level a to output level b is
+    // max(|a-b|, 1).  This is the structural fact behind both the
+    // compaction rate (one level per ~2 cycles) and the E18 fault
+    // traps (unreachable free levels).
+    const SwitchStructure sw(8);
+    EXPECT_EQ(sw.stagesToReach(0, 0), 1u);
+    EXPECT_EQ(sw.stagesToReach(0, 1), 1u);
+    EXPECT_EQ(sw.stagesToReach(0, 7), 7u);
+    EXPECT_EQ(sw.stagesToReach(7, 0), 7u);
+    EXPECT_EQ(sw.stagesToReach(3, 5), 2u);
+}
+
+TEST(SwitchStructure, SingleBusDegenerate)
+{
+    const SwitchStructure sw(1);
+    EXPECT_TRUE(sw.connects(0, 0));
+    EXPECT_EQ(sw.interIncCrossPoints(), 1u);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace rmb

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the 2-D grid of RMB rings (paper section 4 future
+ * work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmb/torus.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+ringCfg(std::uint32_t k, std::uint64_t seed = 1)
+{
+    RmbConfig c;
+    c.numBuses = k;
+    c.seed = seed;
+    c.verify = VerifyLevel::Full;
+    return c;
+}
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 4'000'000)
+{
+    while (!net.quiescent() && s.now() < limit)
+        s.run(256);
+}
+
+TEST(Torus, RowOnlyMessage)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 4, 4, ringCfg(2));
+    // (0,1) = node 4 -> (3,1) = node 7: row leg only, 3 hops.
+    const auto id = net.send(4, 7, 16);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 3.0);
+    EXPECT_EQ(net.cornerTurns(), 0u);
+}
+
+TEST(Torus, ColumnOnlyMessage)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 4, 4, ringCfg(2));
+    // (2,0) = node 2 -> (2,3) = node 14: column leg only, 3 hops.
+    const auto id = net.send(2, 14, 16);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 3.0);
+    EXPECT_EQ(net.cornerTurns(), 0u);
+}
+
+TEST(Torus, CornerTurnMessage)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 4, 4, ringCfg(2));
+    // (0,0) -> (2,3) = node 14: 2 row hops + 3 column hops.
+    const auto id = net.send(0, 14, 16);
+    runToQuiescence(s, net);
+    const net::Message &m = net.message(id);
+    EXPECT_EQ(m.state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 5.0);
+    EXPECT_EQ(net.cornerTurns(), 1u);
+    EXPECT_LE(m.created, m.firstAttempt);
+    EXPECT_LT(m.firstAttempt, m.established);
+    EXPECT_LT(m.established, m.delivered);
+}
+
+TEST(Torus, WrapAroundUsesRingGeometry)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 4, 4, ringCfg(2));
+    // (3,0) -> (0,0): one clockwise row hop (3 -> 0 wraps).
+    net.send(3, 0, 8);
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 1.0);
+}
+
+TEST(Torus, RandomPermutationsComplete)
+{
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        sim::Simulator s;
+        RmbTorusNetwork net(s, 4, 4, ringCfg(2, seed));
+        sim::Random rng(seed * 23);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        const auto r = workload::runBatch(net, pairs, 24);
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+        EXPECT_EQ(r.delivered, pairs.size());
+    }
+}
+
+TEST(Torus, RectangularGrid)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 8, 2, ringCfg(2));
+    EXPECT_EQ(net.numNodes(), 16u);
+    EXPECT_EQ(net.rowRing(0).numNodes(), 8u);
+    EXPECT_EQ(net.columnRing(0).numNodes(), 2u);
+    net.send(0, 15, 16); // (0,0) -> (7,1): 7 row + 1 column hops
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.stats().pathLength.max(), 8.0);
+}
+
+TEST(Torus, ShorterPathsThanSingleRingAtScale)
+{
+    // 16 nodes as a 4x4 torus of rings vs one 16-ring: mean path
+    // must drop (<= W/2-ish + H/2-ish vs N/2).
+    sim::Simulator s1;
+    RmbNetwork ring(s1, [] {
+        RmbConfig c;
+        c.numNodes = 16;
+        c.numBuses = 2;
+        return c;
+    }());
+    sim::Simulator s2;
+    RmbTorusNetwork torus(s2, 4, 4, ringCfg(2));
+    sim::Random rng(5);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    const auto r1 = workload::runBatch(ring, pairs, 24);
+    const auto r2 = workload::runBatch(torus, pairs, 24);
+    ASSERT_TRUE(r1.completed);
+    ASSERT_TRUE(r2.completed);
+    EXPECT_LT(torus.stats().pathLength.mean(),
+              ring.stats().pathLength.mean());
+    EXPECT_LT(r2.makespan, r1.makespan);
+}
+
+TEST(Torus, CompactionRunsInAllRings)
+{
+    sim::Simulator s;
+    RmbTorusNetwork net(s, 4, 4, ringCfg(3));
+    for (net::NodeId i = 0; i < 16; ++i)
+        net.send(i, (i + 5) % 16, 200);
+    runToQuiescence(s, net);
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_GT(net.totalCompactionMoves(), 0u);
+}
+
+TEST(TorusDeathTest, DegenerateGridFatal)
+{
+    sim::Simulator s;
+    EXPECT_EXIT(RmbTorusNetwork(s, 1, 4, ringCfg(2)),
+                ::testing::ExitedWithCode(1), "width and height");
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

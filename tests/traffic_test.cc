@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the stochastic traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/traffic.hh"
+
+namespace rmb {
+namespace workload {
+namespace {
+
+TEST(UniformTraffic, NeverReturnsSource)
+{
+    UniformTraffic t(16);
+    sim::Random rng(1);
+    for (net::NodeId src = 0; src < 16; ++src)
+        for (int i = 0; i < 200; ++i)
+            EXPECT_NE(t.pick(src, rng), src);
+}
+
+TEST(UniformTraffic, CoversAllOtherNodes)
+{
+    UniformTraffic t(8);
+    sim::Random rng(2);
+    std::map<net::NodeId, int> hits;
+    for (int i = 0; i < 4000; ++i)
+        ++hits[t.pick(3, rng)];
+    EXPECT_EQ(hits.size(), 7u);
+    // Roughly uniform: each ~571 expected.
+    for (const auto &[node, count] : hits) {
+        EXPECT_GT(count, 400) << "node " << node;
+        EXPECT_LT(count, 750) << "node " << node;
+    }
+}
+
+TEST(HotSpotTraffic, HotNodeGetsTheFraction)
+{
+    HotSpotTraffic t(16, 5, 0.5);
+    sim::Random rng(3);
+    int hot = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        if (t.pick(0, rng) == 5)
+            ++hot;
+    // 0.5 + 0.5/15 uniform leakage ~ 0.533.
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.533, 0.03);
+}
+
+TEST(HotSpotTraffic, HotSourceFallsBackToUniform)
+{
+    HotSpotTraffic t(16, 5, 1.0);
+    sim::Random rng(4);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_NE(t.pick(5, rng), 5u);
+}
+
+TEST(HotSpotTraffic, ZeroFractionIsUniform)
+{
+    HotSpotTraffic t(8, 0, 0.0);
+    sim::Random rng(5);
+    std::map<net::NodeId, int> hits;
+    for (int i = 0; i < 2000; ++i)
+        ++hits[t.pick(4, rng)];
+    EXPECT_EQ(hits.size(), 7u);
+}
+
+TEST(LocalRingTraffic, RespectsMaxDistance)
+{
+    LocalRingTraffic t(16, 3);
+    sim::Random rng(6);
+    for (int i = 0; i < 2000; ++i) {
+        const net::NodeId d = t.pick(14, rng);
+        const net::NodeId dist = (d + 16 - 14) % 16;
+        EXPECT_GE(dist, 1u);
+        EXPECT_LE(dist, 3u);
+    }
+}
+
+TEST(LocalRingTraffic, DistanceOneIsNeighbour)
+{
+    LocalRingTraffic t(8, 1);
+    sim::Random rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.pick(7, rng), 0u);
+}
+
+TEST(TornadoTraffic, FixedHalfRingDestination)
+{
+    TornadoTraffic t(16);
+    sim::Random rng(8);
+    EXPECT_EQ(t.pick(0, rng), 8u);
+    EXPECT_EQ(t.pick(10, rng), 2u);
+}
+
+TEST(TornadoTraffic, OddRingRoundsUp)
+{
+    TornadoTraffic t(7);
+    sim::Random rng(9);
+    EXPECT_EQ(t.pick(0, rng), 4u);
+    EXPECT_NE(t.pick(3, rng), 3u);
+}
+
+TEST(BitComplementTraffic, Complements)
+{
+    BitComplementTraffic t(16);
+    sim::Random rng(10);
+    EXPECT_EQ(t.pick(0, rng), 15u);
+    EXPECT_EQ(t.pick(5, rng), 10u);
+}
+
+TEST(TrafficDeathTest, HotSpotValidation)
+{
+    EXPECT_DEATH(HotSpotTraffic(8, 9, 0.5), "range");
+    EXPECT_DEATH(HotSpotTraffic(8, 1, 1.5), "");
+}
+
+TEST(TrafficDeathTest, LocalRingValidation)
+{
+    EXPECT_DEATH(LocalRingTraffic(8, 0), "");
+    EXPECT_DEATH(LocalRingTraffic(8, 8), "");
+}
+
+TEST(TrafficDeathTest, BitComplementNeedsPowerOfTwo)
+{
+    EXPECT_DEATH(BitComplementTraffic(12), "2\\^m");
+}
+
+} // namespace
+} // namespace workload
+} // namespace rmb

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the buffered wormhole ring baseline (Dally, paper
+ * reference [10]): timing, dateline deadlock freedom, tree
+ * blocking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/wormhole_ring.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+
+namespace rmb {
+namespace baseline {
+namespace {
+
+void
+runToQuiescence(sim::Simulator &s, net::Network &net,
+                sim::Tick limit = 2'000'000)
+{
+    while (!net.quiescent() && !s.idle() && s.now() < limit)
+        s.run(256);
+}
+
+TEST(Wormhole, UnloadedTimingExact)
+{
+    // Head: hops * headerHopDelay; then (payload + tail) body flits
+    // pipeline at flitDelay each.
+    sim::Simulator s;
+    WormholeConfig cfg;
+    WormholeRingNetwork net(s, 8, cfg);
+    const auto id = net.send(1, 5, 16); // 4 hops
+    runToQuiescence(s, net);
+    const net::Message &m = net.message(id);
+    ASSERT_EQ(m.state, net::MessageState::Delivered);
+    EXPECT_EQ(m.setupLatency(), 4u * 4u);
+    EXPECT_EQ(m.totalLatency(), 16u + 17u);
+}
+
+TEST(Wormhole, NoSetupRoundTrip)
+{
+    // Unlike the RMB's circuit switching, wormhole needs no Hack:
+    // for short messages it beats the RMB's unloaded setup alone.
+    sim::Simulator s;
+    WormholeConfig cfg;
+    WormholeRingNetwork net(s, 16, cfg);
+    const auto id = net.send(0, 8, 4);
+    runToQuiescence(s, net);
+    // RMB setup alone would be 8*(4+2) = 48; wormhole delivers in
+    // 8*4 + 5 = 37.
+    EXPECT_EQ(net.message(id).totalLatency(), 37u);
+}
+
+TEST(Wormhole, WrapAroundUsesDateline)
+{
+    sim::Simulator s;
+    WormholeConfig cfg;
+    WormholeRingNetwork net(s, 8, cfg);
+    const auto id = net.send(6, 2, 8); // wraps the dateline
+    runToQuiescence(s, net);
+    EXPECT_EQ(net.message(id).state, net::MessageState::Delivered);
+    EXPECT_EQ(net.stats().pathLength.max(), 4.0);
+}
+
+TEST(Wormhole, TornadoAtSaturationDoesNotDeadlock)
+{
+    // Every message travels N/2 hops and the ring cycle is fully
+    // loaded - the exact pattern the dateline exists for.
+    sim::Simulator s;
+    WormholeConfig cfg;
+    WormholeRingNetwork net(s, 16, cfg);
+    const auto pairs =
+        workload::toPairs(workload::rotation(16, 8));
+    const auto r = workload::runBatch(net, pairs, 64, 2'000'000);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Wormhole, RandomPermutationsComplete)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        sim::Simulator s;
+        WormholeConfig cfg;
+        WormholeRingNetwork net(s, 16, cfg);
+        sim::Random rng(seed * 7);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        const auto r = workload::runBatch(net, pairs, 24,
+                                          2'000'000);
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+    }
+}
+
+TEST(Wormhole, MoreVcsRelieveBlocking)
+{
+    // Under heavy contention extra VCs per class reduce head-of-
+    // line blocking; makespan must not get worse.
+    double one = 0.0;
+    double four = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        for (const std::uint32_t vcs : {1u, 4u}) {
+            sim::Simulator s;
+            WormholeConfig cfg;
+            cfg.vcsPerClass = vcs;
+            WormholeRingNetwork net(s, 16, cfg);
+            sim::Random rng(seed * 13);
+            const auto pairs = workload::toPairs(
+                workload::randomFullTraffic(16, rng));
+            const auto r = workload::runBatch(net, pairs, 48,
+                                              2'000'000);
+            EXPECT_TRUE(r.completed);
+            (vcs == 1 ? one : four) +=
+                static_cast<double>(r.makespan);
+        }
+    }
+    EXPECT_LE(four, one);
+}
+
+TEST(Wormhole, SourceQueueIsFifo)
+{
+    sim::Simulator s;
+    WormholeConfig cfg;
+    WormholeRingNetwork net(s, 8, cfg);
+    const auto a = net.send(0, 4, 32);
+    const auto b = net.send(0, 2, 4);
+    runToQuiescence(s, net);
+    EXPECT_LT(net.message(a).established,
+              net.message(b).established);
+}
+
+TEST(WormholeDeathTest, Validation)
+{
+    sim::Simulator s;
+    WormholeConfig cfg;
+    cfg.vcsPerClass = 0;
+    EXPECT_EXIT(WormholeRingNetwork(s, 8, cfg),
+                ::testing::ExitedWithCode(1), "virtual channel");
+}
+
+} // namespace
+} // namespace baseline
+} // namespace rmb

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * rmbsim - command-line driver for the RMB simulator.
+ *
+ * Runs a workload against any of the implemented networks and
+ * prints a statistics table; can also record the generated workload
+ * to a trace file or replay a previously recorded trace, so the
+ * exact same communication pattern can be compared across networks.
+ *
+ * Examples:
+ *   rmbsim --network rmb --nodes 32 --buses 4 \
+ *          --workload bitrev --payload 64
+ *   rmbsim --network torus --width 8 --height 4 --buses 2 \
+ *          --workload uniform --rate 0.002 --duration 50000
+ *   rmbsim --network rmb --nodes 16 --buses 4 \
+ *          --workload uniform --rate 0.001 --duration 20000 \
+ *          --record /tmp/u.trace
+ *   rmbsim --network multibus --nodes 16 --buses 4 \
+ *          --replay /tmp/u.trace
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fattree.hh"
+#include "baselines/hypercube.hh"
+#include "baselines/mesh.hh"
+#include "baselines/multibus.hh"
+#include "baselines/wormhole_ring.hh"
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "rmb/dual_ring.hh"
+#include "rmb/grid.hh"
+#include "rmb/network.hh"
+#include "report/report.hh"
+#include "rmb/torus.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+#include "workload/trace.hh"
+#include "workload/traffic.hh"
+
+namespace {
+
+using namespace rmb;
+
+struct Options
+{
+    std::string network = "rmb";
+    std::uint32_t nodes = 16;
+    std::uint32_t buses = 4;
+    std::uint32_t width = 4;
+    std::uint32_t height = 4;
+    std::string dims = "4x4x4";
+    std::string workload = "randperm";
+    double rate = 0.001;
+    std::uint32_t payload = 32;
+    sim::Tick duration = 50'000;
+    std::uint64_t seed = 1;
+    std::string blocking = "nack";
+    std::string header = "lowest";
+    std::uint32_t sendPorts = 1;
+    std::uint32_t receivePorts = 1;
+    bool compaction = true;
+    std::string record;
+    std::string replay;
+    bool csv = false;
+    bool json = false;
+    bool heatmap = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: rmbsim [options]\n"
+           "  --network   rmb|dualring|torus|grid|ring|mesh|"
+           "hypercube|ehc|fattree|multibus|wormhole\n"
+           "  --nodes N --buses K        (ring-like networks)\n"
+           "  --width W --height H       (torus / mesh)\n"
+           "  --dims AxBxC                (grid)\n"
+           "  --workload  randperm|bitrev|shuffle|transpose|"
+           "tornado|rot:<s>|uniform|local:<d>|hotspot:<f>\n"
+           "  --rate R --duration T      (stochastic workloads)\n"
+           "  --payload FLITS --seed S\n"
+           "  --blocking  nack|wait|wait:<timeout>\n"
+           "  --header    lowest|straight\n"
+           "  --ports S,R                (send,receive ports/PE)\n"
+           "  --no-compaction\n"
+           "  --record FILE | --replay FILE\n"
+           "  --csv | --json | --heatmap\n";
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--network") {
+            o.network = need(i);
+        } else if (arg == "--nodes") {
+            o.nodes = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--buses") {
+            o.buses = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--width") {
+            o.width = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--height") {
+            o.height = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--dims") {
+            o.dims = need(i);
+        } else if (arg == "--workload") {
+            o.workload = need(i);
+        } else if (arg == "--rate") {
+            o.rate = std::stod(need(i));
+        } else if (arg == "--payload") {
+            o.payload = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--duration") {
+            o.duration = std::stoull(need(i));
+        } else if (arg == "--seed") {
+            o.seed = std::stoull(need(i));
+        } else if (arg == "--blocking") {
+            o.blocking = need(i);
+        } else if (arg == "--header") {
+            o.header = need(i);
+        } else if (arg == "--ports") {
+            const std::string v = need(i);
+            const auto comma = v.find(',');
+            if (comma == std::string::npos)
+                usage();
+            o.sendPorts = static_cast<std::uint32_t>(
+                std::stoul(v.substr(0, comma)));
+            o.receivePorts = static_cast<std::uint32_t>(
+                std::stoul(v.substr(comma + 1)));
+        } else if (arg == "--no-compaction") {
+            o.compaction = false;
+        } else if (arg == "--record") {
+            o.record = need(i);
+        } else if (arg == "--replay") {
+            o.replay = need(i);
+        } else if (arg == "--csv") {
+            o.csv = true;
+        } else if (arg == "--json") {
+            o.json = true;
+        } else if (arg == "--heatmap") {
+            o.heatmap = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+        }
+    }
+    return o;
+}
+
+core::RmbConfig
+rmbConfig(const Options &o)
+{
+    core::RmbConfig cfg;
+    cfg.numNodes = o.nodes;
+    cfg.numBuses = o.buses;
+    cfg.seed = o.seed;
+    cfg.enableCompaction = o.compaction;
+    cfg.sendPorts = o.sendPorts;
+    cfg.receivePorts = o.receivePorts;
+    cfg.headerPolicy = o.header == "straight"
+                           ? core::HeaderPolicy::PreferStraight
+                           : core::HeaderPolicy::PreferLowest;
+    if (o.blocking == "wait") {
+        cfg.blocking = core::BlockingPolicy::Wait;
+    } else if (o.blocking.rfind("wait:", 0) == 0) {
+        cfg.blocking = core::BlockingPolicy::Wait;
+        cfg.headerTimeout = std::stoull(o.blocking.substr(5));
+    } else if (o.blocking == "nack") {
+        cfg.blocking = core::BlockingPolicy::NackRetry;
+    } else {
+        fatal("unknown blocking policy '", o.blocking, "'");
+    }
+    return cfg;
+}
+
+std::unique_ptr<net::Network>
+makeNetwork(const Options &o, sim::Simulator &simulator)
+{
+    baseline::CircuitConfig circuit;
+    circuit.seed = o.seed;
+    if (o.network == "rmb") {
+        return std::make_unique<core::RmbNetwork>(simulator,
+                                                  rmbConfig(o));
+    }
+    if (o.network == "dualring") {
+        return std::make_unique<core::DualRingRmbNetwork>(
+            simulator, rmbConfig(o));
+    }
+    if (o.network == "torus") {
+        core::RmbConfig cfg = rmbConfig(o);
+        return std::make_unique<core::RmbTorusNetwork>(
+            simulator, o.width, o.height, cfg);
+    }
+    if (o.network == "grid") {
+        std::vector<std::uint32_t> dims;
+        std::size_t pos = 0;
+        while (pos < o.dims.size()) {
+            const auto x = o.dims.find('x', pos);
+            const auto part = o.dims.substr(
+                pos, x == std::string::npos ? std::string::npos
+                                            : x - pos);
+            if (part.empty())
+                fatal("bad --dims '", o.dims, "'");
+            dims.push_back(static_cast<std::uint32_t>(
+                std::stoul(part)));
+            pos = x == std::string::npos ? o.dims.size() : x + 1;
+        }
+        return std::make_unique<core::RmbGridNetwork>(
+            simulator, dims, rmbConfig(o));
+    }
+    if (o.network == "ring") {
+        return std::make_unique<baseline::IdealRingNetwork>(
+            simulator, o.nodes, o.buses, circuit);
+    }
+    if (o.network == "mesh") {
+        return std::make_unique<baseline::MeshNetwork>(
+            simulator, o.width, o.height, circuit);
+    }
+    if (o.network == "hypercube" || o.network == "ehc") {
+        if (!isPowerOfTwo(o.nodes))
+            fatal("hypercube needs --nodes = 2^n");
+        return std::make_unique<baseline::HypercubeNetwork>(
+            simulator, log2Floor(o.nodes), circuit,
+            o.network == "ehc");
+    }
+    if (o.network == "fattree") {
+        return std::make_unique<baseline::FatTreeNetwork>(
+            simulator, o.nodes, o.buses, circuit);
+    }
+    if (o.network == "multibus") {
+        return std::make_unique<baseline::MultiBusNetwork>(
+            simulator, o.nodes, o.buses, circuit);
+    }
+    if (o.network == "wormhole") {
+        baseline::WormholeConfig cfg;
+        cfg.vcsPerClass = o.buses / 2 ? o.buses / 2 : 1;
+        return std::make_unique<baseline::WormholeRingNetwork>(
+            simulator, o.nodes, cfg);
+    }
+    fatal("unknown network '", o.network, "'");
+}
+
+/** Batch (permutation) workloads return a pair list; stochastic
+ *  ones return empty and use rate/duration. */
+workload::PairList
+batchWorkload(const Options &o, net::NodeId n, sim::Random &rng)
+{
+    const std::string &w = o.workload;
+    if (w == "randperm")
+        return workload::toPairs(
+            workload::randomFullTraffic(n, rng));
+    if (w == "bitrev")
+        return workload::toPairs(workload::bitReversal(n));
+    if (w == "shuffle")
+        return workload::toPairs(workload::perfectShuffle(n));
+    if (w == "transpose")
+        return workload::toPairs(workload::transpose(n));
+    if (w == "tornado")
+        return workload::toPairs(workload::rotation(n, n / 2));
+    if (w.rfind("rot:", 0) == 0) {
+        return workload::toPairs(workload::rotation(
+            n, static_cast<net::NodeId>(
+                   std::stoul(w.substr(4)) % n)));
+    }
+    return {};
+}
+
+std::unique_ptr<workload::TrafficPattern>
+stochasticWorkload(const Options &o, net::NodeId n)
+{
+    const std::string &w = o.workload;
+    if (w == "uniform")
+        return std::make_unique<workload::UniformTraffic>(n);
+    if (w.rfind("local:", 0) == 0) {
+        return std::make_unique<workload::LocalRingTraffic>(
+            n, static_cast<net::NodeId>(std::stoul(w.substr(6))));
+    }
+    if (w.rfind("hotspot:", 0) == 0) {
+        return std::make_unique<workload::HotSpotTraffic>(
+            n, 0, std::stod(w.substr(8)));
+    }
+    return nullptr;
+}
+
+void
+printStats(const Options &o, const net::Network &network,
+           sim::Tick now)
+{
+    if (o.json) {
+        std::cout << report::statsToJson(network, now) << "\n";
+        if (!o.heatmap)
+            return;
+    }
+    if (o.heatmap) {
+        if (const auto *rmb =
+                dynamic_cast<const core::RmbNetwork *>(&network)) {
+            report::utilizationHeatmap(std::cout, *rmb, now);
+        }
+        if (o.json)
+            return;
+    }
+    const auto &s = network.stats();
+    TextTable t("rmbsim results: " + network.name(),
+                {"metric", "value"});
+    t.addRow({"simulated ticks", TextTable::num(
+                                     static_cast<std::uint64_t>(
+                                         now))});
+    t.addRow({"injected", TextTable::num(s.injected)});
+    t.addRow({"delivered", TextTable::num(s.delivered)});
+    t.addRow({"failed", TextTable::num(s.failed)});
+    t.addRow({"nacks", TextTable::num(s.nacks)});
+    t.addRow({"retries", TextTable::num(s.retries)});
+    t.addRow({"mean latency", TextTable::num(s.totalLatency.mean(),
+                                             1)});
+    t.addRow({"p95 latency",
+              TextTable::num(s.totalLatency.percentile(95), 1)});
+    t.addRow({"mean setup",
+              TextTable::num(s.setupLatency.mean(), 1)});
+    t.addRow({"mean hops", TextTable::num(s.pathLength.mean(), 2)});
+    t.addRow({"peak circuits",
+              TextTable::num(static_cast<std::uint64_t>(
+                  s.activeCircuits.maximum()))});
+    if (const auto *rmb =
+            dynamic_cast<const core::RmbNetwork *>(&network)) {
+        t.addRow({"compaction moves",
+                  TextTable::num(rmb->rmbStats().compactionMoves)});
+        t.addRow({"max cycle skew",
+                  TextTable::num(rmb->rmbStats().maxCycleSkew)});
+        t.addRow({"avg segment util %",
+                  TextTable::num(100.0 *
+                                     rmb->segments()
+                                         .averageUtilization(now),
+                                 2)});
+    }
+    if (o.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    sim::Simulator simulator;
+    auto network = makeNetwork(o, simulator);
+    sim::Random rng(o.seed);
+
+    if (!o.replay.empty()) {
+        std::ifstream in(o.replay);
+        if (!in)
+            fatal("cannot open trace '", o.replay, "'");
+        const auto trace = workload::readTrace(in);
+        const auto r = workload::replayTrace(*network, trace);
+        std::cout << "replayed " << r.injected << " events: "
+                  << r.delivered << " delivered, " << r.failed
+                  << " failed, makespan " << r.makespan
+                  << ", mean latency " << r.meanLatency << "\n";
+        printStats(o, *network, simulator.now());
+        return 0;
+    }
+
+    const auto pairs = batchWorkload(o, network->numNodes(), rng);
+    if (!pairs.empty()) {
+        const auto r =
+            workload::runBatch(*network, pairs, o.payload);
+        std::cout << (r.completed ? "batch completed"
+                                  : "batch TIMED OUT")
+                  << ": makespan " << r.makespan << "\n";
+        if (!o.record.empty()) {
+            workload::Trace trace;
+            for (const auto &[src, dst] : pairs)
+                trace.push_back(
+                    workload::TraceEvent{0, src, dst, o.payload});
+            std::ofstream out(o.record);
+            workload::writeTrace(out, trace);
+        }
+        printStats(o, *network, simulator.now());
+        return 0;
+    }
+
+    auto pattern = stochasticWorkload(o, network->numNodes());
+    if (!pattern)
+        fatal("unknown workload '", o.workload, "'");
+    if (!o.record.empty()) {
+        const auto trace = workload::generateTrace(
+            *pattern, o.rate, o.payload, o.duration, rng);
+        {
+            std::ofstream out(o.record);
+            if (!out)
+                fatal("cannot write trace '", o.record, "'");
+            workload::writeTrace(out, trace);
+        }
+        const auto r = workload::replayTrace(*network, trace);
+        std::cout << "recorded " << trace.size() << " events to "
+                  << o.record << "; replayed locally: "
+                  << r.delivered << " delivered\n";
+        printStats(o, *network, simulator.now());
+        return 0;
+    }
+    const auto r = workload::runOpenLoop(
+        *network, *pattern, o.rate, o.payload, o.duration, rng,
+        o.duration / 10);
+    std::cout << "open loop: offered " << r.offeredLoad
+              << " msgs/node/tick, throughput " << r.throughput
+              << ", mean latency " << r.meanLatency << "\n";
+    printStats(o, *network, simulator.now());
+    return 0;
+}
