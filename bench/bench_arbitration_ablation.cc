@@ -97,15 +97,15 @@ name(Kind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E9", "ablations: reconfiguration vs arbitration,"
+    bench::Harness h(argc, argv, "E9", "ablations: reconfiguration vs arbitration,"
                         " compaction on/off, 3-way vs ideal"
                         " switches");
 
-    const int trials = bench::fastMode() ? 2 : 6;
+    const int trials = h.fast() ? 2 : 6;
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
     const std::uint32_t payload = 32;
@@ -168,7 +168,7 @@ main()
         }
         t.addRow(row);
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nShape checks:\n"
                  "  (a) the RMB beats the arbitrated k-bus system"

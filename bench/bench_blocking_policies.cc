@@ -34,14 +34,14 @@ struct Policy
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E12", "blocked-header policies: deadlock"
+    bench::Harness h(argc, argv, "E12", "blocked-header policies: deadlock"
                          " frequency and cost");
 
-    const int trials = bench::fastMode() ? 4 : 12;
+    const int trials = h.fast() ? 4 : 12;
     const std::uint32_t n = 16;
     const std::uint32_t payload = 24;
 
@@ -98,7 +98,7 @@ main()
                       TextTable::num(aborts / trials, 2)});
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nFinding: pure Wait wedges at small k (all"
                  " segments held by mutually-blocked partial"

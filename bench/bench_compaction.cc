@@ -21,11 +21,11 @@
 #include "workload/permutation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("F4/F5/T2/L1", "compaction protocol dynamics");
+    bench::Harness h(argc, argv, "F4/F5/T2/L1", "compaction protocol dynamics");
 
     // --- settle time of a single long-lived circuit ------------
     TextTable settle("ticks for a fresh circuit (injected on the top"
@@ -71,8 +71,7 @@ main()
                                 (k - 1),
                             1)});
     }
-    settle.print(std::cout);
-    std::cout << '\n';
+    h.table(settle);
 
     // --- top-bus release latency under batch load ---------------
     TextTable release("top-bus release latency vs message lifetime"
@@ -88,7 +87,7 @@ main()
         core::RmbNetwork net(s, cfg);
         sim::Random rng(k);
         double lat = 0.0;
-        int batches = bench::fastMode() ? 2 : 5;
+        int batches = h.fast() ? 2 : 5;
         for (int b = 0; b < batches; ++b) {
             const auto pairs = workload::toPairs(
                 workload::randomFullTraffic(32, rng));
@@ -103,8 +102,7 @@ main()
                         TextTable::num(lat, 1),
                         TextTable::num(tr.mean() / lat, 3)});
     }
-    release.print(std::cout);
-    std::cout << '\n';
+    h.table(release);
 
     // --- odd/even cycling across asynchronous clocks -------------
     TextTable cyc("odd/even cycle statistics over 100k ticks of"
@@ -144,7 +142,7 @@ main()
         while (!net.quiescent() && s.now() < 2'000'000)
             s.run(4096);
     }
-    cyc.print(std::cout);
+    h.table(cyc);
 
     std::cout << "\nShape checks: a circuit drops one level every"
                  " ~2 cycles (Figure 5's two-cycle move); top-bus"

@@ -23,14 +23,14 @@
 #include "workload/permutation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E7", "on-line vs off-line schedule"
+    bench::Harness h(argc, argv, "E7", "on-line vs off-line schedule"
                         " (competitiveness, section 4)");
 
-    const int trials = bench::fastMode() ? 3 : 10;
+    const int trials = h.fast() ? 3 : 10;
     const std::uint32_t payload = 32;
 
     offline::TimingModel timing;
@@ -81,7 +81,7 @@ main()
                       TextTable::num(online_sum / lb_sum, 2)});
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     // Structured patterns where the offline optimum is easy to
     // reason about.
@@ -122,8 +122,7 @@ main()
                                      static_cast<double>(lb),
                                  2)});
     }
-    p.print(std::cout);
-    std::cout << '\n';
+    h.table(p);
 
     // Small instances: the branch-and-bound gives the *provably
     // optimal* round count, so the offline reference is exact.
@@ -178,7 +177,7 @@ main()
                      : std::string("-")});
         }
     }
-    e.print(std::cout);
+    h.table(e);
 
     std::cout << "\nShape check: the online protocol stays within a"
                  " small constant factor of the offline lower bound"

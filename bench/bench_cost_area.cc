@@ -15,12 +15,12 @@
 #include "common/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
     using namespace rmb::analysis;
 
-    bench::banner("E3", "VLSI layout area per architecture"
+    bench::Harness h(argc, argv, "E3", "VLSI layout area per architecture"
                         " (section 3.2)");
 
     TextTable t("layout area (unit squares), k = 8 permutation"
@@ -39,7 +39,7 @@ main()
                                      static_cast<double>(rmb),
                                  1)});
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nPaper shape check: the hypercube/RMB area ratio"
                  " grows ~ N / log N; the fat tree costs ~12x the"

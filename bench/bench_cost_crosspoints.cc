@@ -15,12 +15,12 @@
 #include "common/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
     using namespace rmb::analysis;
 
-    bench::banner("E2", "cross points per architecture"
+    bench::Harness h(argc, argv, "E2", "cross points per architecture"
                         " (section 3.2)");
 
     for (std::uint64_t n : {64ull, 256ull, 1024ull}) {
@@ -39,8 +39,7 @@ main()
                                          static_cast<double>(ehc),
                                      3)});
         }
-        t.print(std::cout);
-        std::cout << '\n';
+        h.table(t);
     }
 
     std::cout << "Paper shape check: for k = log N the RMB/EHC ratio"

@@ -14,12 +14,12 @@
 #include "common/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
     using namespace rmb::analysis;
 
-    bench::banner("E1/E4", "number of links and bisection bandwidth"
+    bench::Harness h(argc, argv, "E1/E4", "number of links and bisection bandwidth"
                            " per architecture (section 3.2)");
 
     for (std::uint64_t n : {64ull, 256ull, 1024ull}) {
@@ -36,8 +36,7 @@ main()
                       TextTable::num(fatTreeCosts(n, k).links),
                       TextTable::num(meshCosts(n, k).links)});
         }
-        t.print(std::cout);
-        std::cout << '\n';
+        h.table(t);
     }
 
     TextTable b("bisection bandwidth (units of link bandwidth B)",
@@ -53,7 +52,7 @@ main()
                       TextTable::num(meshCosts(n, k).bisection)});
         }
     }
-    b.print(std::cout);
+    h.table(b);
 
     std::cout << "\nPaper shape check: RMB links = N*k exactly; the"
                  " fat tree needs fewer links (N*log2 k + N - 2k)"

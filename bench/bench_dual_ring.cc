@@ -61,17 +61,17 @@ runDual(std::uint32_t n, std::uint32_t k,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E13", "one-way ring vs two counter-rotating"
+    bench::Harness h(argc, argv, "E13", "one-way ring vs two counter-rotating"
                          " rings (section 2.1)");
 
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
     const std::uint32_t payload = 32;
-    const int trials = bench::fastMode() ? 2 : 6;
+    const int trials = h.fast() ? 2 : 6;
 
     TextTable t("batch makespan (ticks), N = 32; dual ring = k=" +
                     std::to_string(k) + " per direction",
@@ -113,7 +113,7 @@ main()
                   TextTable::num(dual / trials, 0),
                   TextTable::num(dual / single8, 2)});
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nShape check: for rotations past N/2 the dual"
                  " ring routes counter-clockwise and wins by the"

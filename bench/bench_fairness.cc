@@ -95,15 +95,15 @@ run(bool compaction, core::HeaderPolicy policy, sim::Tick duration,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E19", "network-access fairness of top-bus"
+    bench::Harness h(argc, argv, "E19", "network-access fairness of top-bus"
                          " injection (section 2.2)");
 
     const sim::Tick duration =
-        bench::fastMode() ? 60'000 : 200'000;
+        h.fast() ? 60'000 : 200'000;
 
     TextTable t("per-node access delay (creation -> injection),"
                 " N = 32, k = 4, ring-local (d<=6), top-bus"
@@ -131,7 +131,7 @@ main()
                       TextTable::num(f.jain, 3)});
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nShape check (the section 2.2 claim): releasing"
                  " the top bus early roughly *halves* every node's"

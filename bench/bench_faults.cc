@@ -114,14 +114,14 @@ cell(const Outcome &o)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E18", "segment faults: placement x header"
+    bench::Harness h(argc, argv, "E18", "segment faults: placement x header"
                          " policy (robustness)");
 
-    const int trials = bench::fastMode() ? 2 : 5;
+    const int trials = h.fast() ? 2 : 5;
 
     TextTable t("random permutation makespan, N = 32, k = 4;"
                 " '(c/t)' marks incomplete batches",
@@ -141,7 +141,7 @@ main()
                       core::HeaderPolicy::PreferStraight,
                       trials))});
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nShape checks: bottom-aligned faults act as a"
                  " smaller k for either policy (compaction packs"

@@ -59,11 +59,11 @@ make(int which, sim::Simulator &s, std::uint32_t n,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E17", "algorithm kernels across networks"
+    bench::Harness h(argc, argv, "E17", "algorithm kernels across networks"
                          " (sections 1 and 4)");
 
     const std::uint32_t payload = 32;
@@ -92,8 +92,7 @@ main()
             row.insert(row.begin(), name);
             t.addRow(row);
         }
-        t.print(std::cout);
-        std::cout << '\n';
+        h.table(t);
     }
 
     // Section 4's second competitiveness target: "communication
@@ -141,8 +140,7 @@ main()
                            2)
                      : std::string("-")});
         }
-        c.print(std::cout);
-        std::cout << '\n';
+        h.table(c);
     }
 
     std::cout << "Shape checks: the one-way ring is crippled by"

@@ -18,14 +18,14 @@
 #include "workload/permutation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E5", "k-permutation capability of the RMB"
+    bench::Harness h(argc, argv, "E5", "k-permutation capability of the RMB"
                         " (Theorem 1)");
 
-    const int trials = bench::fastMode() ? 3 : 10;
+    const int trials = h.fast() ? 3 : 10;
     const std::uint32_t payload = 32;
 
     TextTable t("random h-permutations on an RMB(N, k)",
@@ -86,7 +86,7 @@ main()
                       TextTable::num(retry_sum / trials, 2)});
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     TextTable o("overloaded batches (full random permutations,"
                 " load >> k) still complete by serializing",
@@ -130,8 +130,7 @@ main()
                       TextTable::num(makespan / base, 2)});
         }
     }
-    o.print(std::cout);
-    std::cout << '\n';
+    h.table(o);
 
     // h-relations: every node sends AND receives exactly h messages
     // (the bulk-transfer generalization of the h-permutation).
@@ -174,7 +173,7 @@ main()
              std::to_string(completed) + "/" +
                  std::to_string(trials)});
     }
-    h_table.print(std::cout);
+    h.table(h_table);
 
     std::cout << "\nPaper shape check: within-capacity"
                  " h-permutations complete with zero destination"

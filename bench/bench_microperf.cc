@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "rmb/network.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -139,4 +142,45 @@ BENCHMARK(BM_RmbFullVerifyOverhead)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: accept the common bench flags (--fast, --json <path>,
+ * --seed <n>) so every bench binary shares one command line, mapping
+ * them onto google-benchmark's own options before Initialize() sees
+ * the rest.
+ */
+int
+main(int argc, char **argv)
+{
+    // Own the storage for synthesised arguments; benchmark keeps
+    // pointers into them during Initialize, so reserve up front to
+    // pin the strings in place.
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc) + 3);
+    auto synth = [&storage](std::string s) {
+        storage.push_back(std::move(s));
+        return storage.back().data();
+    };
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fast") {
+            args.push_back(synth("--benchmark_min_time=0.05"));
+        } else if (arg == "--json" && i + 1 < argc) {
+            args.push_back(synth(std::string("--benchmark_out=") +
+                                 argv[++i]));
+            args.push_back(synth("--benchmark_out_format=json"));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            ++i; // accepted for interface uniformity; unused here
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

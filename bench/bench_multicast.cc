@@ -39,11 +39,11 @@ drain(sim::Simulator &s, net::Network &net)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E14", "multicast/broadcast vs repeated unicast"
+    bench::Harness h(argc, argv, "E14", "multicast/broadcast vs repeated unicast"
                          " (section 1 extension)");
 
     const std::uint32_t n = 32;
@@ -104,8 +104,7 @@ main()
                   TextTable::num(mc_segments) + " vs " +
                       TextTable::num(uc_segments)});
     }
-    t.print(std::cout);
-    std::cout << '\n';
+    h.table(t);
 
     TextTable b("broadcast completion time vs ring size, k = 4,"
                 " payload 64",
@@ -132,7 +131,7 @@ main()
         prev = done;
         prev_n = nodes;
     }
-    b.print(std::cout);
+    h.table(b);
 
     std::cout << "\nShape check: multicast time is one circuit"
                  " lifetime regardless of group size (the tap"

@@ -52,11 +52,11 @@ runBurst(std::uint32_t ports, bool compaction,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E16", "multi-port PEs (enhanced interface,"
+    bench::Harness h(argc, argv, "E16", "multi-port PEs (enhanced interface,"
                          " sections 2.1/4)");
 
     TextTable t("single-source burst of 4 messages (payload 600),"
@@ -78,7 +78,7 @@ main()
                                      2)});
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nShape check: extra send ports only pay once the"
                  " top bus recycles (compaction on) - a node's gap"

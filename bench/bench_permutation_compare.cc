@@ -107,14 +107,14 @@ candidates()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E6", "permutation routing: RMB vs hypercube, EHC,"
+    bench::Harness h(argc, argv, "E6", "permutation routing: RMB vs hypercube, EHC,"
                         " fat tree, mesh, multibus (section 3)");
 
-    const int trials = bench::fastMode() ? 2 : 6;
+    const int trials = h.fast() ? 2 : 6;
     const std::uint32_t payload = 32;
 
     for (std::uint32_t n : {16u, 64u}) {
@@ -158,8 +158,7 @@ main()
                       std::to_string(completed) + "/" +
                           std::to_string(trials)});
         }
-        t.print(std::cout);
-        std::cout << '\n';
+        h.table(t);
     }
 
     // Adversarial patterns at N = 32.
@@ -200,7 +199,7 @@ main()
         }
         a.addRow(row);
     }
-    a.print(std::cout);
+    h.table(a);
 
     std::cout << "\nPaper shape check: the RMB tracks the ideal"
                  " k-channel ring closely, beats the k-bus system"

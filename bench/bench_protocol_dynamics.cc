@@ -25,16 +25,16 @@
 #include "workload/traffic.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("T1/F1-F3", "status-register census and per-level"
+    bench::Harness h(argc, argv, "T1/F1-F3", "status-register census and per-level"
                               " bus utilization");
 
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
-    const sim::Tick duration = bench::fastMode() ? 30'000 : 100'000;
+    const sim::Tick duration = h.fast() ? 30'000 : 100'000;
 
     sim::Simulator s;
     core::RmbConfig cfg;
@@ -90,7 +90,7 @@ main()
                                       static_cast<double>(samples),
                                   3)});
     }
-    t1.print(std::cout);
+    h.table(t1);
     std::cout << "(PE-driven source ports, outside Table 1's"
                  " scope: "
               << pe_driven_count << " samples)\n\n";
@@ -115,7 +115,7 @@ main()
                  : (l == 0 ? "bottom (circuits settle here)"
                            : "middle")});
     }
-    util.print(std::cout);
+    h.table(util);
 
     std::cout << "\nShape checks: codes 101/111 never occur"
                  " (Table 1); dual codes 011/110 occur rarely and"

@@ -20,13 +20,13 @@
 #include "workload/traffic.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E10", "throughput/latency vs offered load");
+    bench::Harness h(argc, argv, "E10", "throughput/latency vs offered load");
 
-    const sim::Tick duration = bench::fastMode() ? 40'000 : 150'000;
+    const sim::Tick duration = h.fast() ? 40'000 : 150'000;
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
     const std::uint32_t payload = 16;
@@ -75,8 +75,7 @@ main()
                      TextTable::num(r.maxLatency, 0)});
             }
         }
-        t.print(std::cout);
-        std::cout << '\n';
+        h.table(t);
     }
 
     std::cout << "Shape check: the RMB saturates far later than the"

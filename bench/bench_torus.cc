@@ -19,15 +19,15 @@
 #include "workload/permutation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E15", "2-D grid of RMB rings vs one large ring"
+    bench::Harness h(argc, argv, "E15", "2-D grid of RMB rings vs one large ring"
                          " vs mesh (section 4 future work)");
 
     const std::uint32_t payload = 32;
-    const int trials = bench::fastMode() ? 2 : 5;
+    const int trials = h.fast() ? 2 : 5;
 
     TextTable t("random permutation makespan (ticks); torus rings"
                 " and single ring both use k = 4",
@@ -101,8 +101,7 @@ main()
                   TextTable::num(torus_hops / trials, 2),
                   TextTable::num(ring_hops / trials, 2)});
     }
-    t.print(std::cout);
-    std::cout << '\n';
+    h.table(t);
 
     // 1-D vs 2-D vs 3-D at 64 nodes (the paper names 3-D grids
     // explicitly).
@@ -143,7 +142,7 @@ main()
                   TextTable::num(std::uint64_t{rings}),
                   TextTable::num(net.multiLegMessages())});
     }
-    d.print(std::cout);
+    h.table(d);
 
     std::cout << "\nShape check: composing RMB rings into a grid"
                  " cuts mean path from ~N/2 to ~(W+H)/2 and the"

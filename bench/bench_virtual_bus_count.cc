@@ -19,14 +19,14 @@
 #include "workload/traffic.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E8", "virtual buses vs physical buses"
+    bench::Harness h(argc, argv, "E8", "virtual buses vs physical buses"
                         " (section 4 closing remark)");
 
-    const sim::Tick duration = bench::fastMode() ? 30'000 : 120'000;
+    const sim::Tick duration = h.fast() ? 30'000 : 120'000;
     const std::uint32_t n = 32;
     const std::uint32_t payload = 64;
 
@@ -71,7 +71,7 @@ main()
             }
         }
     }
-    t.print(std::cout);
+    h.table(t);
 
     std::cout << "\nPaper shape check: under local traffic the RMB"
                  " sustains several times k concurrent virtual"

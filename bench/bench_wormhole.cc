@@ -51,17 +51,17 @@ makeNet(bool wormhole, sim::Simulator &s, std::uint32_t n,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::banner("E20", "RMB circuit switching vs buffered"
+    bench::Harness h(argc, argv, "E20", "RMB circuit switching vs buffered"
                          " wormhole on the same ring (section 2.2"
                          " vs reference [10])");
 
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
-    const int trials = bench::fastMode() ? 2 : 6;
+    const int trials = h.fast() ? 2 : 6;
 
     // Payload sweep: the Hack round trip is a fixed cost, so the
     // circuit approach catches up as messages grow.
@@ -102,8 +102,7 @@ main()
                   TextTable::num(rmb_lat),
                   TextTable::num(wh_lat)});
     }
-    t.print(std::cout);
-    std::cout << '\n';
+    h.table(t);
 
     // Open-loop local traffic: standing circuits vs buffer reuse.
     TextTable o("open-loop ring-local (d <= 4) traffic, payload 16,"
@@ -120,7 +119,7 @@ main()
             sim::Random rng(9);
             const auto r = workload::runOpenLoop(
                 *net, pattern, rate, 16,
-                bench::fastMode() ? 30'000 : 100'000, rng, 5'000);
+                h.fast() ? 30'000 : 100'000, rng, 5'000);
             thr[wormhole] = r.throughput;
             lat[wormhole] = r.meanLatency;
         }
@@ -130,7 +129,7 @@ main()
                   TextTable::num(lat[0], 0),
                   TextTable::num(lat[1], 0)});
     }
-    o.print(std::cout);
+    h.table(o);
 
     std::cout << "\nShape checks: a real crossover.  Wormhole wins"
                  " short messages outright (no Hack round trip);"

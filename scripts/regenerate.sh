@@ -5,9 +5,10 @@
 # Usage: scripts/regenerate.sh [--fast]
 set -e
 cd "$(dirname "$0")/.."
-[ "$1" = "--fast" ] && export RMB_BENCH_FAST=1
+FAST=""
+[ "$1" = "--fast" ] && FAST="--fast"
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-( for b in build/bench/*; do echo "### $b"; "$b"; echo; done ) \
+( for b in build/bench/*; do echo "### $b"; "$b" $FAST; echo; done ) \
     2>&1 | tee bench_output.txt

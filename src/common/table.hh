@@ -39,6 +39,17 @@ class TextTable
     /** Number of data rows added so far. */
     std::size_t numRows() const { return rows_.size(); }
 
+    /** Structured access (JSON emission, tests). */
+    const std::string &caption() const { return caption_; }
+    const std::vector<std::string> &headers() const
+    {
+        return headers_;
+    }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Format helpers for numeric cells. */
     static std::string num(std::uint64_t v);
     static std::string num(double v, int precision = 2);

@@ -5,10 +5,23 @@
 namespace rmb {
 namespace net {
 
+NetworkStats::NetworkStats(obs::MetricsRegistry &registry)
+    : injected(registry.counter("net.injected")),
+      delivered(registry.counter("net.delivered")),
+      failed(registry.counter("net.failed")),
+      nacks(registry.counter("net.nacks")),
+      retries(registry.counter("net.retries")),
+      queueDelay(registry.sampler("net.queue_delay")),
+      setupLatency(registry.sampler("net.setup_latency")),
+      totalLatency(registry.sampler("net.total_latency")),
+      pathLength(registry.sampler("net.path_length")),
+      activeCircuits(registry.level("net.active_circuits"))
+{}
+
 Network::Network(sim::Simulator &simulator, std::string name,
                  NodeId num_nodes)
-    : simulator_(simulator), name_(std::move(name)),
-      numNodes_(num_nodes)
+    : simulator_(simulator), stats_(metrics_),
+      name_(std::move(name)), numNodes_(num_nodes)
 {
     rmb_assert(numNodes_ >= 2, "a network needs at least two nodes");
 }
@@ -37,7 +50,8 @@ const Message &
 Network::message(MessageId id) const
 {
     rmb_assert(id != kNoMessage && id <= messages_.size(),
-               "unknown message id ", id);
+               "unknown message id ", id, " (valid ids are 1..",
+               messages_.size(), ")");
     return messages_[id - 1];
 }
 
@@ -45,7 +59,8 @@ Message &
 Network::messageRef(MessageId id)
 {
     rmb_assert(id != kNoMessage && id <= messages_.size(),
-               "unknown message id ", id);
+               "unknown message id ", id, " (valid ids are 1..",
+               messages_.size(), ")");
     return messages_[id - 1];
 }
 
@@ -56,6 +71,16 @@ Network::noteFirstAttempt(Message &m)
     m.state = MessageState::Setup;
     stats_.queueDelay.add(
         static_cast<double>(m.firstAttempt - m.created));
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Inject;
+        e.at = m.firstAttempt;
+        e.message = m.id;
+        e.node = m.src;
+        e.a = m.dst;
+        e.b = m.payloadFlits;
+        emitTrace(e);
+    }
 }
 
 void
@@ -65,6 +90,14 @@ Network::noteEstablished(Message &m)
     m.state = MessageState::Streaming;
     stats_.setupLatency.add(
         static_cast<double>(m.established - m.firstAttempt));
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Hack;
+        e.at = m.established;
+        e.message = m.id;
+        e.node = m.src;
+        emitTrace(e);
+    }
 }
 
 void
@@ -72,6 +105,15 @@ Network::noteNack(Message &m)
 {
     ++m.nacks;
     ++stats_.nacks;
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Nack;
+        e.at = simulator_.now();
+        e.message = m.id;
+        e.node = m.dst;
+        e.a = obs::kNackDestBusy;
+        emitTrace(e);
+    }
 }
 
 void
@@ -79,6 +121,15 @@ Network::noteRetry(Message &m)
 {
     ++m.retries;
     ++stats_.retries;
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Retry;
+        e.at = simulator_.now();
+        e.message = m.id;
+        e.node = m.src;
+        e.a = m.retries;
+        emitTrace(e);
+    }
 }
 
 void
@@ -89,6 +140,15 @@ Network::noteDelivered(Message &m, std::uint32_t path_hops)
     ++stats_.delivered;
     stats_.totalLatency.add(static_cast<double>(m.totalLatency()));
     stats_.pathLength.add(static_cast<double>(path_hops));
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Deliver;
+        e.at = m.delivered;
+        e.message = m.id;
+        e.node = m.dst;
+        e.a = path_hops;
+        emitTrace(e);
+    }
     if (deliveryCallback_)
         deliveryCallback_(m);
 }
@@ -98,6 +158,15 @@ Network::noteFailed(Message &m)
 {
     m.state = MessageState::Failed;
     ++stats_.failed;
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Fail;
+        e.at = simulator_.now();
+        e.message = m.id;
+        e.node = m.src;
+        e.a = m.retries;
+        emitTrace(e);
+    }
     if (failureCallback_)
         failureCallback_(m);
 }

@@ -17,28 +17,40 @@
 #include <string>
 
 #include "netbase/message.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
 namespace rmb {
 namespace net {
 
-/** Aggregate statistics every network implementation maintains. */
+/**
+ * Typed view of the aggregate statistics every network maintains.
+ * The metrics themselves live in the owning network's
+ * obs::MetricsRegistry under the "net." prefix; this struct holds
+ * references so existing field-style call sites keep working while
+ * MetricsRegistry::snapshot() serialises everything generically.
+ */
 struct NetworkStats
 {
-    std::uint64_t injected = 0;    //!< messages handed to send()
-    std::uint64_t delivered = 0;   //!< messages fully delivered
-    std::uint64_t failed = 0;      //!< gave up (bounded retries)
-    std::uint64_t nacks = 0;       //!< destination-busy refusals
-    std::uint64_t retries = 0;     //!< re-injections
+    explicit NetworkStats(obs::MetricsRegistry &registry);
+    NetworkStats(const NetworkStats &) = delete;
+    NetworkStats &operator=(const NetworkStats &) = delete;
 
-    sim::SampleStat queueDelay;    //!< created -> first injection
-    sim::SampleStat setupLatency;  //!< injection -> established
-    sim::SampleStat totalLatency;  //!< created -> delivered
-    sim::SampleStat pathLength;    //!< hops traversed
+    obs::Counter &injected;    //!< messages handed to send()
+    obs::Counter &delivered;   //!< messages fully delivered
+    obs::Counter &failed;      //!< gave up (bounded retries)
+    obs::Counter &nacks;       //!< destination-busy refusals
+    obs::Counter &retries;     //!< re-injections
+
+    sim::SampleStat &queueDelay;    //!< created -> first injection
+    sim::SampleStat &setupLatency;  //!< injection -> established
+    sim::SampleStat &totalLatency;  //!< created -> delivered
+    sim::SampleStat &pathLength;    //!< hops traversed
 
     /** Concurrently open circuits (virtual buses). */
-    sim::LevelTracker activeCircuits;
+    sim::LevelTracker &activeCircuits;
 };
 
 /**
@@ -90,6 +102,21 @@ class Network
     /** Aggregate statistics. */
     const NetworkStats &stats() const { return stats_; }
 
+    /** The registry every statistic of this network lives in. */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach @p sink to receive one TraceEvent per protocol action
+     * (nullptr detaches).  The sink is borrowed, not owned, and must
+     * outlive the network or be detached first; with no sink
+     * attached, emission sites cost a single branch.
+     */
+    void setTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
+
+    /** The currently attached sink (nullptr when tracing is off). */
+    obs::TraceSink *traceSink() const { return traceSink_; }
+
     /** Invoked whenever a message is delivered. */
     void
     setDeliveryCallback(DeliveryCallback cb)
@@ -136,15 +163,32 @@ class Network
     /** Track open-circuit count (+1 on open, -1 on close). */
     void noteCircuit(std::int64_t delta);
 
-    NetworkStats stats_;
+    /** True when a trace sink is attached (guard event assembly). */
+    bool tracing() const { return traceSink_ != nullptr; }
+
+    /** Deliver @p event to the attached sink, if any. */
+    void
+    emitTrace(const obs::TraceEvent &event)
+    {
+        if (traceSink_)
+            traceSink_->onEvent(event);
+    }
 
   private:
     sim::Simulator &simulator_;
+    /** Declared before stats_: the stats views reference into it. */
+    obs::MetricsRegistry metrics_;
+
+  protected:
+    NetworkStats stats_;
+
+  private:
     std::string name_;
     NodeId numNodes_;
     std::deque<Message> messages_;
     DeliveryCallback deliveryCallback_;
     DeliveryCallback failureCallback_;
+    obs::TraceSink *traceSink_ = nullptr;
 };
 
 } // namespace net

@@ -1,0 +1,112 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace rmb {
+namespace obs {
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        checkShape(name, "counter");
+        it = counters_.emplace(name, Counter{}).first;
+    }
+    return it->second;
+}
+
+sim::SampleStat &
+MetricsRegistry::sampler(const std::string &name)
+{
+    auto it = samplers_.find(name);
+    if (it == samplers_.end()) {
+        checkShape(name, "sampler");
+        it = samplers_.emplace(name, sim::SampleStat{}).first;
+    }
+    return it->second;
+}
+
+sim::LevelTracker &
+MetricsRegistry::level(const std::string &name)
+{
+    auto it = levels_.find(name);
+    if (it == levels_.end()) {
+        checkShape(name, "level");
+        it = levels_.emplace(name, sim::LevelTracker{}).first;
+    }
+    return it->second;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) || samplers_.count(name) ||
+           levels_.count(name);
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(size());
+    for (const auto &[name, metric] : counters_)
+        out.push_back(name);
+    for (const auto &[name, metric] : samplers_)
+        out.push_back(name);
+    for (const auto &[name, metric] : levels_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MetricsRegistry::checkShape(const std::string &name,
+                            const char *shape) const
+{
+    rmb_assert(!has(name), "metric '", name,
+               "' already registered with a shape other than ",
+               shape);
+}
+
+std::string
+MetricsRegistry::snapshot(sim::Tick now) const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.beginObject("counters");
+    for (const auto &[name, c] : counters_)
+        json.field(name, c.value());
+    json.endObject();
+    json.beginObject("samplers");
+    for (const auto &[name, s] : samplers_) {
+        json.beginObject(name);
+        json.field("count", s.count());
+        json.field("sum", s.sum());
+        json.field("mean", s.mean());
+        json.field("min", s.min());
+        json.field("max", s.max());
+        json.field("stddev", s.stddev());
+        json.field("p50", s.percentile(50));
+        json.field("p95", s.percentile(95));
+        json.endObject();
+    }
+    json.endObject();
+    json.beginObject("levels");
+    for (const auto &[name, l] : levels_) {
+        json.beginObject(name);
+        json.field("current", static_cast<std::int64_t>(l.current()));
+        json.field("max", static_cast<std::int64_t>(l.maximum()));
+        json.field("avg", l.average(now));
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace obs
+} // namespace rmb

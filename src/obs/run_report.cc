@@ -1,0 +1,87 @@
+#include "obs/run_report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace rmb {
+namespace obs {
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+void
+RunReport::set(const std::string &key, const std::string &value)
+{
+    fields_.emplace_back(key, '"' + jsonEscape(value) + '"');
+}
+
+void
+RunReport::set(const std::string &key, const char *value)
+{
+    set(key, std::string(value));
+}
+
+void
+RunReport::set(const std::string &key, std::uint64_t value)
+{
+    fields_.emplace_back(key, std::to_string(value));
+}
+
+void
+RunReport::set(const std::string &key, std::int64_t value)
+{
+    fields_.emplace_back(key, std::to_string(value));
+}
+
+void
+RunReport::set(const std::string &key, double value)
+{
+    if (std::isnan(value) || std::isinf(value)) {
+        fields_.emplace_back(key, "null");
+        return;
+    }
+    std::ostringstream out;
+    out << value;
+    fields_.emplace_back(key, out.str());
+}
+
+void
+RunReport::set(const std::string &key, bool value)
+{
+    fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void
+RunReport::setRaw(const std::string &key, std::string json)
+{
+    fields_.emplace_back(key, std::move(json));
+}
+
+std::string
+RunReport::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("tool", tool_);
+    for (const auto &[key, value] : fields_)
+        json.raw(key, value);
+    json.endObject();
+    return json.str();
+}
+
+void
+RunReport::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open report file '", path, "' for writing");
+    out << toJson() << '\n';
+    if (!out)
+        fatal("write to report file '", path, "' failed");
+}
+
+} // namespace obs
+} // namespace rmb

@@ -1,0 +1,54 @@
+#include "obs/trace.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Inject: return "inject";
+      case EventKind::HeaderHop: return "header_hop";
+      case EventKind::Block: return "block";
+      case EventKind::Unblock: return "unblock";
+      case EventKind::Hack: return "hack";
+      case EventKind::Nack: return "nack";
+      case EventKind::Retry: return "retry";
+      case EventKind::Backoff: return "backoff";
+      case EventKind::DataFlit: return "data_flit";
+      case EventKind::Dack: return "dack";
+      case EventKind::Deliver: return "deliver";
+      case EventKind::Fail: return "fail";
+      case EventKind::Teardown: return "teardown";
+      case EventKind::CompactionMake: return "compaction_make";
+      case EventKind::CompactionBreak: return "compaction_break";
+      case EventKind::CycleFlip: return "cycle_flip";
+      case EventKind::SegmentFail: return "segment_fail";
+    }
+    panic("unknown EventKind ", static_cast<int>(kind));
+}
+
+std::string
+toJsonLine(const TraceEvent &event)
+{
+    // Fixed key set in a fixed order so consumers can parse the
+    // lines with anything from jq to a CSV-minded awk script.
+    std::ostringstream out;
+    out << "{\"at\":" << event.at
+        << ",\"kind\":\"" << eventKindName(event.kind) << '"'
+        << ",\"msg\":" << event.message
+        << ",\"bus\":" << event.bus
+        << ",\"node\":" << event.node
+        << ",\"gap\":" << event.gap
+        << ",\"level\":" << event.level
+        << ",\"a\":" << event.a
+        << ",\"b\":" << event.b << '}';
+    return out.str();
+}
+
+} // namespace obs
+} // namespace rmb

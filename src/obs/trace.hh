@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Protocol trace events and the pluggable sink interface.
+ *
+ * A network emits one TraceEvent per protocol action (injection,
+ * header hop, Hack/Nack, compaction move, ...) into an attached
+ * TraceSink.  With no sink attached the emission sites reduce to a
+ * single pointer test, so tracing costs nothing unless requested.
+ *
+ * The event is a flat POD on purpose: sinks that buffer (the
+ * RingBufferSink post-mortem buffer) copy it by value, and the JSONL
+ * serialisation is a single pass over fixed fields.
+ */
+
+#ifndef RMB_OBS_TRACE_HH
+#define RMB_OBS_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace rmb {
+namespace obs {
+
+/**
+ * The protocol vocabulary.  Events marked [net] are emitted by every
+ * network through the shared net::Network bookkeeping; the rest are
+ * RMB-specific.
+ */
+enum class EventKind : std::uint8_t
+{
+    Inject,          //!< [net] header first injected (a=dst, b=flits)
+    HeaderHop,       //!< header occupied (gap, level) of one more gap
+    Block,           //!< header entered the Blocked state at `node`
+    Unblock,         //!< blocked header resumed advancing
+    Hack,            //!< [net] circuit established (Hack at source)
+    Nack,            //!< refusal; a = NackReason
+    Retry,           //!< [net] re-injection (a = retry ordinal)
+    Backoff,         //!< retry scheduled after a ticks of backoff
+    DataFlit,        //!< data flit departed the source (a = seq)
+    Dack,            //!< data-flit ack at the source (a = acked count)
+    Deliver,         //!< [net] final flit accepted (a = path hops)
+    Fail,            //!< [net] message permanently failed
+    Teardown,        //!< teardown started; a = TeardownKind
+    CompactionMake,  //!< make step: level -> a at `gap` (b = moveSeq)
+    CompactionBreak, //!< break step completed; level = new, a = old
+    CycleFlip,       //!< INC `node` finished a cycle (a = cycle count)
+    SegmentFail,     //!< segment (gap, level) permanently faulted
+};
+
+/** Number of EventKind values (for per-kind counters). */
+constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::SegmentFail) + 1;
+
+/** Reason codes carried in the `a` field of a Nack event. */
+enum NackReason : std::uint64_t
+{
+    kNackDestBusy = 0,   //!< destination had no free receive port
+    kNackNoSegment = 1,  //!< no reachable free segment (NackRetry)
+    kNackTimeout = 2,    //!< Wait-mode header timeout expired
+};
+
+/** Kind codes carried in the `a` field of a Teardown event. */
+enum TeardownKind : std::uint64_t
+{
+    kTeardownFack = 0, //!< delivery complete, Fack freeing the bus
+    kTeardownNack = 1, //!< refusal/abort, Nack freeing the bus
+};
+
+/** Stable lower_snake name of @p kind (used in the JSONL output). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One traced protocol action.  Fields that do not apply to a kind
+ * stay at their defaults (0 / -1); the per-kind meaning of the
+ * generic `a` / `b` payload is documented on EventKind.
+ */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Inject;
+    sim::Tick at = 0;          //!< simulated time of the action
+    std::uint64_t message = 0; //!< net::MessageId, 0 = n/a
+    std::uint64_t bus = 0;     //!< virtual bus id, 0 = n/a
+    std::uint32_t node = 0;    //!< node / INC where it happened
+    std::uint32_t gap = 0;     //!< gap touched, when meaningful
+    std::int32_t level = -1;   //!< bus level, -1 = n/a
+    std::uint64_t a = 0;       //!< kind-specific payload
+    std::uint64_t b = 0;       //!< kind-specific payload
+};
+
+/** Serialise @p event as one JSON object (no trailing newline). */
+std::string toJsonLine(const TraceEvent &event);
+
+/**
+ * Receiver of trace events.  Implementations must not re-enter the
+ * emitting network; they see events in emission order, which is the
+ * DES execution order.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Handle one event; called synchronously at emission time. */
+    virtual void onEvent(const TraceEvent &event) = 0;
+};
+
+} // namespace obs
+} // namespace rmb
+
+#endif // RMB_OBS_TRACE_HH

@@ -1,84 +1,16 @@
 #include "report/report.hh"
 
-#include <cmath>
 #include <ostream>
-#include <sstream>
+
+#include "obs/json.hh"
 
 namespace rmb {
 namespace report {
 
 namespace {
 
-/** Minimal JSON assembly (numbers, strings, nesting). */
-class Json
-{
-  public:
-    void
-    beginObject(const std::string &key = "")
-    {
-        comma();
-        if (!key.empty())
-            out_ << '"' << key << "\":";
-        out_ << '{';
-        first_ = true;
-    }
-
-    void
-    endObject()
-    {
-        out_ << '}';
-        first_ = false;
-    }
-
-    void
-    field(const std::string &key, std::uint64_t v)
-    {
-        comma();
-        out_ << '"' << key << "\":" << v;
-    }
-
-    void
-    field(const std::string &key, std::int64_t v)
-    {
-        comma();
-        out_ << '"' << key << "\":" << v;
-    }
-
-    void
-    field(const std::string &key, double v)
-    {
-        comma();
-        if (std::isnan(v) || std::isinf(v)) {
-            out_ << '"' << key << "\":null";
-        } else {
-            out_ << '"' << key << "\":" << v;
-        }
-    }
-
-    void
-    field(const std::string &key, const std::string &v)
-    {
-        comma();
-        out_ << '"' << key << "\":\"" << v << '"';
-    }
-
-    std::string str() const { return out_.str(); }
-
-  private:
-    void
-    comma()
-    {
-        if (!first_)
-            out_ << ',';
-        first_ = false;
-    }
-
-    std::ostringstream out_;
-    bool first_ = true;
-};
-
 void
-sampleStat(Json &json, const std::string &key,
+sampleStat(obs::JsonWriter &json, const std::string &key,
            const sim::SampleStat &stat)
 {
     json.beginObject(key);
@@ -97,7 +29,7 @@ std::string
 statsToJson(const net::Network &network, sim::Tick now)
 {
     const net::NetworkStats &s = network.stats();
-    Json json;
+    obs::JsonWriter json;
     json.beginObject();
     json.field("network", network.name());
     json.field("nodes", std::uint64_t{network.numNodes()});
@@ -137,6 +69,11 @@ statsToJson(const net::Network &network, sim::Tick now)
                    std::uint64_t{rmb->segments().faultyCount()});
         json.endObject();
     }
+
+    // The full registry, keyed by stable dotted metric names; covers
+    // every counter the typed views above name (and any future ones)
+    // without this function having to keep up.
+    json.raw("metrics", network.metrics().snapshot(now));
     json.endObject();
     return json.str();
 }

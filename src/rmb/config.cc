@@ -1,0 +1,92 @@
+#include "rmb/config.hh"
+
+#include <sstream>
+
+namespace rmb {
+namespace core {
+
+namespace {
+
+template <typename... Args>
+std::string
+msg(Args &&...args)
+{
+    std::ostringstream out;
+    (out << ... << std::forward<Args>(args));
+    return out.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+RmbConfig::validate() const
+{
+    std::vector<std::string> problems;
+
+    if (numNodes < 2) {
+        problems.push_back(msg(
+            "numNodes=", numNodes,
+            ": the ring needs at least two nodes"));
+    }
+    if (numBuses < 1) {
+        problems.push_back(msg(
+            "numBuses=", numBuses,
+            ": the grid needs at least one bus level (k >= 1)"));
+    }
+    if (headerHopDelay < 1 || ackHopDelay < 1 || flitDelay < 1) {
+        problems.push_back(msg(
+            "hop delays must all be >= 1 tick (headerHopDelay=",
+            headerHopDelay, ", ackHopDelay=", ackHopDelay,
+            ", flitDelay=", flitDelay, ")"));
+    }
+    if (cyclePeriodMin < 2) {
+        problems.push_back(msg(
+            "cyclePeriodMin=", cyclePeriodMin,
+            ": the make-before-break break step fires half a period"
+            " later, so periods below 2 ticks cannot be split"));
+    }
+    if (cyclePeriodMin > cyclePeriodMax) {
+        problems.push_back(msg(
+            "cycle period range [", cyclePeriodMin, ", ",
+            cyclePeriodMax, "] is inverted (min > max)"));
+    }
+    if (detailedFlits && dackWindow == 0) {
+        problems.push_back(
+            "dackWindow=0 with detailedFlits: the first data flit"
+            " could never depart; use dackWindow >= 1 (or disable"
+            " detailedFlits)");
+    }
+    if (retryBackoffMin < 1) {
+        problems.push_back(msg(
+            "retryBackoffMin=", retryBackoffMin,
+            ": a zero backoff re-injects in the same tick and"
+            " livelocks colliding senders"));
+    }
+    if (retryBackoffMin > retryBackoffMax) {
+        problems.push_back(msg(
+            "retry backoff range [", retryBackoffMin, ", ",
+            retryBackoffMax, "] is inverted (min > max)"));
+    }
+    if (exponentialBackoff && retryBackoffCap < 2) {
+        problems.push_back(msg(
+            "retryBackoffCap=", retryBackoffCap,
+            " with exponentialBackoff: the capped backoff is drawn"
+            " from [cap/2, cap], so the cap must be >= 2"));
+    }
+    if (sendPorts < 1 || receivePorts < 1) {
+        problems.push_back(msg(
+            "sendPorts=", sendPorts, ", receivePorts=", receivePorts,
+            ": every PE needs at least one port of each kind"));
+    }
+    if (headerTimeout > 0 &&
+        blocking == BlockingPolicy::NackRetry) {
+        problems.push_back(msg(
+            "headerTimeout=", headerTimeout,
+            " has no effect under BlockingPolicy::NackRetry; set"
+            " blocking=Wait or drop the timeout"));
+    }
+    return problems;
+}
+
+} // namespace core
+} // namespace rmb

@@ -7,6 +7,8 @@
 #define RMB_RMB_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "rmb/types.hh"
 #include "sim/types.hh"
@@ -117,6 +119,16 @@ struct RmbConfig
 
     /** Seed for all randomness (INC clock jitter, backoff). */
     std::uint64_t seed = 1;
+
+    /**
+     * Check the configuration for nonsense (k = 0, inverted period
+     * or backoff ranges, a zero Dack window in detailed mode, ...).
+     * @return one actionable message per problem found; an empty
+     * vector means the configuration is valid.  RmbNetwork runs this
+     * at construction and refuses (via fatal) to build from an
+     * invalid config.
+     */
+    std::vector<std::string> validate() const;
 };
 
 } // namespace core

@@ -30,36 +30,45 @@ namespace {
 const RmbConfig &
 validated(const RmbConfig &config)
 {
-    if (config.numNodes < 2)
-        fatal("RMB needs at least two nodes, got ", config.numNodes);
-    if (config.numBuses < 1)
-        fatal("RMB needs at least one bus, got ", config.numBuses);
-    if (config.cyclePeriodMin < 2 ||
-        config.cyclePeriodMin > config.cyclePeriodMax) {
-        fatal("bad cycle period range [", config.cyclePeriodMin,
-              ", ", config.cyclePeriodMax, "]");
+    const std::vector<std::string> problems = config.validate();
+    if (!problems.empty()) {
+        std::string joined;
+        for (const std::string &p : problems) {
+            if (!joined.empty())
+                joined += "; ";
+            joined += p;
+        }
+        fatal("invalid RmbConfig: ", joined);
     }
-    if (config.headerHopDelay < 1 || config.ackHopDelay < 1 ||
-        config.flitDelay < 1) {
-        fatal("hop delays must be >= 1 tick");
-    }
-    if (config.retryBackoffMin < 1 ||
-        config.retryBackoffMin > config.retryBackoffMax) {
-        fatal("bad retry backoff range");
-    }
-    if (config.sendPorts < 1 || config.receivePorts < 1)
-        fatal("PEs need at least one send and one receive port");
     return config;
 }
 
 } // namespace
+
+RmbStats::RmbStats(obs::MetricsRegistry &registry)
+    : compactionMoves(registry.counter("rmb.compaction.moves")),
+      blockedHeaders(registry.counter("rmb.blocked.headers")),
+      blockedAborts(registry.counter("rmb.blocked.aborts")),
+      timeoutAborts(registry.counter("rmb.timeout.aborts")),
+      cycleFlips(registry.counter("rmb.cycle.flips")),
+      dacks(registry.counter("rmb.dacks")),
+      maxCycleSkew(registry.counter("rmb.cycle.max_skew")),
+      multicasts(registry.counter("rmb.multicasts")),
+      topReleaseLatency(
+          registry.sampler("rmb.top_release_latency")),
+      multicastMemberLatency(
+          registry.sampler("rmb.multicast.member_latency")),
+      blockedTime(registry.sampler("rmb.blocked.time")),
+      liveBuses(registry.level("rmb.live_buses"))
+{}
 
 RmbNetwork::RmbNetwork(sim::Simulator &simulator,
                        const RmbConfig &config)
     : net::Network(simulator, "RMB(ring)", validated(config).numNodes),
       config_(config), rng_(config.seed),
       segments_(config.numNodes, config.numBuses),
-      pes_(config.numNodes), waiters_(config.numNodes)
+      pes_(config.numNodes), waiters_(config.numNodes),
+      rmbStats_(metrics())
 {
     if (config_.numNodes % 2 != 0) {
         warn("odd node count: the odd/even INC marking of section"
@@ -95,6 +104,9 @@ RmbNetwork::rightOf(std::uint32_t i) const
 const VirtualBus *
 RmbNetwork::bus(VirtualBusId id) const
 {
+    rmb_assert(id != kNoBus && id < nextBusId_,
+               "virtual bus id ", id, " was never allocated",
+               " (ids run 1..", nextBusId_ - 1, ")");
     auto it = buses_.find(id);
     return it == buses_.end() ? nullptr : &it->second;
 }
@@ -116,6 +128,21 @@ RmbNetwork::busRef(VirtualBusId id)
     auto it = buses_.find(id);
     rmb_assert(it != buses_.end(), "no live bus with id ", id);
     return it->second;
+}
+
+obs::TraceEvent
+RmbNetwork::busEvent(obs::EventKind kind, const VirtualBus &bus,
+                     net::NodeId node, GapId gap, Level level) const
+{
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.at = simulator().now();
+    e.message = bus.message;
+    e.bus = bus.id;
+    e.node = node;
+    e.gap = gap;
+    e.level = level;
+    return e;
 }
 
 net::MessageId
@@ -178,7 +205,8 @@ const MulticastRecord &
 RmbNetwork::multicastRecord(MulticastId id) const
 {
     rmb_assert(id != 0 && id <= multicasts_.size(),
-               "unknown multicast id ", id);
+               "unknown multicast id ", id, " (valid ids are 1..",
+               multicasts_.size(), ")");
     return multicasts_[id - 1];
 }
 
@@ -248,6 +276,9 @@ RmbNetwork::tryInject(net::NodeId node)
     segments_.occupy(gap, top, bid, simulator().now());
     bus.hops.push_back(Hop{gap, top, kNoLevel, 0});
     rmbStats_.liveBuses.adjust(simulator().now(), +1);
+    if (tracing())
+        emitTrace(busEvent(obs::EventKind::HeaderHop, bus, node,
+                           gap, top));
 
     simulator().schedule(config_.headerHopDelay,
                          [this, bid] { headerArrive(bid); });
@@ -330,10 +361,16 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
             q.erase(std::remove(q.begin(), q.end(), bus_id),
                     q.end());
             bus.state = BusState::Advancing;
+            if (tracing())
+                emitTrace(busEvent(obs::EventKind::Unblock, bus,
+                                   here, gap));
         }
         segments_.occupy(gap, chosen, bus_id, simulator().now());
         bus.hops.push_back(Hop{gap, chosen, kNoLevel, 0});
         bus.headNode = (here + 1) % config_.numNodes;
+        if (tracing())
+            emitTrace(busEvent(obs::EventKind::HeaderHop, bus, here,
+                               gap, chosen));
         simulator().schedule(
             config_.headerHopDelay,
             [this, bus_id] { headerArrive(bus_id); });
@@ -344,6 +381,12 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
     // No reachable free segment at this gap.
     if (config_.blocking == BlockingPolicy::NackRetry) {
         ++rmbStats_.blockedAborts;
+        if (tracing()) {
+            obs::TraceEvent e =
+                busEvent(obs::EventKind::Nack, bus, here, gap);
+            e.a = obs::kNackNoSegment;
+            emitTrace(e);
+        }
         startTeardown(bus, BusState::NackTeardown);
         return;
     }
@@ -351,6 +394,9 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
         bus.state = BusState::Blocked;
         bus.blockedSince = simulator().now();
         ++rmbStats_.blockedHeaders;
+        if (tracing())
+            emitTrace(busEvent(obs::EventKind::Block, bus, here,
+                               gap));
         waiters_[gap].push_back(bus_id);
         if (config_.headerTimeout > 0) {
             const sim::Tick since = bus.blockedSince;
@@ -377,6 +423,12 @@ RmbNetwork::onHeaderTimeout(VirtualBusId bus_id, sim::Tick since)
         static_cast<double>(simulator().now() - bus.blockedSince));
     auto &q = waiters_[bus.headNode];
     q.erase(std::remove(q.begin(), q.end(), bus_id), q.end());
+    if (tracing()) {
+        obs::TraceEvent e = busEvent(obs::EventKind::Nack, bus,
+                                     bus.headNode, bus.headNode);
+        e.a = obs::kNackTimeout;
+        emitTrace(e);
+    }
     startTeardown(bus, BusState::NackTeardown);
 }
 
@@ -443,6 +495,12 @@ RmbNetwork::departFlit(VirtualBusId bus_id, std::uint32_t seq)
 
     ++bus.flitsSent;
     bus.lastFlitDepart = simulator().now();
+    if (tracing()) {
+        obs::TraceEvent e =
+            busEvent(obs::EventKind::DataFlit, bus, bus.src);
+        e.a = seq;
+        emitTrace(e);
+    }
 
     // The circuit is dedicated, so the flit pipelines across the
     // hops at one gap per flitDelay, undisturbed by compaction
@@ -508,6 +566,12 @@ RmbNetwork::dackArriveAtSource(VirtualBusId bus_id)
     VirtualBus &bus = it->second;
     ++bus.flitsAcked;
     ++rmbStats_.dacks;
+    if (tracing()) {
+        obs::TraceEvent e =
+            busEvent(obs::EventKind::Dack, bus, bus.src);
+        e.a = bus.flitsAcked;
+        emitTrace(e);
+    }
     if (bus.pumpStalled &&
         bus.flitsSent - bus.flitsAcked < config_.dackWindow) {
         bus.pumpStalled = false;
@@ -544,6 +608,13 @@ RmbNetwork::startTeardown(VirtualBus &bus, BusState kind)
                    kind == BusState::NackTeardown,
                "bad teardown kind");
     bus.state = kind;
+    if (tracing()) {
+        obs::TraceEvent e = busEvent(obs::EventKind::Teardown, bus,
+                                     bus.headNode);
+        e.a = kind == BusState::FackTeardown ? obs::kTeardownFack
+                                             : obs::kTeardownNack;
+        emitTrace(e);
+    }
     const VirtualBusId bid = bus.id;
     simulator().schedule(config_.ackHopDelay,
                          [this, bid] { teardownStep(bid); });
@@ -650,6 +721,15 @@ RmbNetwork::scheduleRetry(net::NodeId node, net::MessageId msg)
     }
     Pe &pe = pes_[node];
     pe.backoffUntil = simulator().now() + backoff;
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Backoff;
+        e.at = simulator().now();
+        e.message = msg;
+        e.node = node;
+        e.a = backoff;
+        emitTrace(e);
+    }
     simulator().schedule(backoff, [this, node] { tryInject(node); });
 }
 
@@ -769,6 +849,13 @@ RmbNetwork::makeEligibleMoves(GapId gap, int parity)
         segments_.occupy(gap, l - 1, bid, simulator().now());
         hop.dualLevel = l - 1;
         ++hop.moveSeq;
+        if (tracing()) {
+            obs::TraceEvent e = busEvent(
+                obs::EventKind::CompactionMake, bus, gap, gap, l);
+            e.a = static_cast<std::uint64_t>(l - 1);
+            e.b = hop.moveSeq;
+            emitTrace(e);
+        }
         out.push_back(MoveRecord{bid, gap, l, l - 1});
     }
     if (!out.empty())
@@ -797,6 +884,13 @@ RmbNetwork::breakMoves(const std::vector<MoveRecord> &records)
         hop.level = r.toLevel;
         hop.dualLevel = kNoLevel;
         ++rmbStats_.compactionMoves;
+        if (tracing()) {
+            obs::TraceEvent e =
+                busEvent(obs::EventKind::CompactionBreak, bus,
+                         r.gap, r.gap, r.toLevel);
+            e.a = static_cast<std::uint64_t>(r.fromLevel);
+            emitTrace(e);
+        }
         releaseSegment(bus, r.gap, r.fromLevel);
 
         // A blocked header whose input hop just moved down may now
@@ -815,6 +909,15 @@ void
 RmbNetwork::failSegment(GapId gap, Level level)
 {
     segments_.markFaulty(gap, level, simulator().now());
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::SegmentFail;
+        e.at = simulator().now();
+        e.node = gap;
+        e.gap = gap;
+        e.level = level;
+        emitTrace(e);
+    }
     checkAfterMutation();
 }
 
@@ -823,12 +926,21 @@ RmbNetwork::noteCycleFlip(std::uint32_t inc_index)
 {
     ++rmbStats_.cycleFlips;
     const std::uint64_t mine = incs_[inc_index]->cycleCount();
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::CycleFlip;
+        e.at = simulator().now();
+        e.node = inc_index;
+        e.gap = inc_index;
+        e.a = mine;
+        emitTrace(e);
+    }
     for (const Inc *nb : {&leftOf(inc_index), &rightOf(inc_index)}) {
         const std::uint64_t theirs = nb->cycleCount();
         const std::uint64_t skew =
             mine > theirs ? mine - theirs : theirs - mine;
-        rmbStats_.maxCycleSkew =
-            std::max(rmbStats_.maxCycleSkew, skew);
+        if (skew > rmbStats_.maxCycleSkew)
+            rmbStats_.maxCycleSkew = skew;
         if (config_.verify != VerifyLevel::Off) {
             rmb_assert(skew <= 1, "Lemma 1 violated: INC ",
                        inc_index, " at cycle ", mine, ", neighbour ",

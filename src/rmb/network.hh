@@ -19,7 +19,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "netbase/network.hh"
+#include "obs/metrics.hh"
 #include "rmb/config.hh"
 #include "rmb/inc.hh"
 #include "rmb/pe.hh"
@@ -33,36 +35,45 @@
 namespace rmb {
 namespace core {
 
-/** RMB-specific counters beyond the common NetworkStats. */
+/**
+ * Typed view of the RMB-specific counters beyond the common
+ * NetworkStats.  Like NetworkStats, the metrics live in the owning
+ * network's obs::MetricsRegistry (under the "rmb." prefix); this
+ * struct only names them.
+ */
 struct RmbStats
 {
+    explicit RmbStats(obs::MetricsRegistry &registry);
+    RmbStats(const RmbStats &) = delete;
+    RmbStats &operator=(const RmbStats &) = delete;
+
     /** Completed downward moves (break steps). */
-    std::uint64_t compactionMoves = 0;
+    obs::Counter &compactionMoves;
     /** Headers that entered the Blocked state. */
-    std::uint64_t blockedHeaders = 0;
+    obs::Counter &blockedHeaders;
     /** Partial buses torn down under BlockingPolicy::NackRetry. */
-    std::uint64_t blockedAborts = 0;
+    obs::Counter &blockedAborts;
     /** Partial buses torn down by the Wait-mode header timeout. */
-    std::uint64_t timeoutAborts = 0;
+    obs::Counter &timeoutAborts;
     /** Total odd/even cycle flips across all INCs. */
-    std::uint64_t cycleFlips = 0;
+    obs::Counter &cycleFlips;
     /** Data-flit acknowledgements delivered (detailed mode). */
-    std::uint64_t dacks = 0;
+    obs::Counter &dacks;
     /** Largest |cycleCount(i) - cycleCount(i+1)| ever observed. */
-    std::uint64_t maxCycleSkew = 0;
+    obs::Counter &maxCycleSkew;
 
     /** Multicast/broadcast groups completed. */
-    std::uint64_t multicasts = 0;
+    obs::Counter &multicasts;
 
     /** Injection -> the source's top segment is free again. */
-    sim::SampleStat topReleaseLatency;
+    sim::SampleStat &topReleaseLatency;
 
     /** Creation -> per-member delivery over all multicast members. */
-    sim::SampleStat multicastMemberLatency;
+    sim::SampleStat &multicastMemberLatency;
     /** Time headers spent in the Blocked state. */
-    sim::SampleStat blockedTime;
+    sim::SampleStat &blockedTime;
     /** Live virtual buses (injection .. teardown complete). */
-    sim::LevelTracker liveBuses;
+    sim::LevelTracker &liveBuses;
 };
 
 /** Id of a multicast/broadcast group (1-based, per network). */
@@ -115,15 +126,30 @@ class RmbNetwork : public net::Network
     MulticastId broadcast(net::NodeId src,
                           std::uint32_t payload_flits);
 
-    /** Look up a multicast group's record. */
+    /**
+     * Look up a multicast group's record; panics with the offending
+     * id if no such group was ever created.
+     */
     const MulticastRecord &multicastRecord(MulticastId id) const;
 
     const RmbConfig &config() const { return config_; }
     const RmbStats &rmbStats() const { return rmbStats_; }
     const SegmentTable &segments() const { return segments_; }
-    const Inc &inc(std::uint32_t i) const { return *incs_[i]; }
 
-    /** Live virtual bus by id; nullptr if it no longer exists. */
+    /** INC @p i; panics with the offending index if out of range. */
+    const Inc &
+    inc(std::uint32_t i) const
+    {
+        rmb_assert(i < incs_.size(), "no INC with index ", i,
+                   " (the ring has ", incs_.size(), " nodes)");
+        return *incs_[i];
+    }
+
+    /**
+     * Live virtual bus by id; nullptr if the bus existed but has
+     * been retired.  Panics with the offending id if no bus with
+     * that id was ever allocated (a caller bug, not a race).
+     */
     const VirtualBus *bus(VirtualBusId id) const;
 
     /** Ids of all live virtual buses (ascending). */
@@ -153,10 +179,13 @@ class RmbNetwork : public net::Network
     /** Run every structural invariant check now (any VerifyLevel). */
     void auditInvariants() const;
 
+  private:
     // ------------------------------------------------------------
-    // Internal interface used by Inc (compaction engine).  Not part
-    // of the public API.
+    // Interface reserved for Inc (the compaction engine): the INCs
+    // are the only callers of the make/break steps, the Lemma-1
+    // bookkeeping and the neighbour/RNG accessors below.
     // ------------------------------------------------------------
+    friend class Inc;
 
     /** A make-step record handed back to the break step. */
     struct MoveRecord
@@ -184,10 +213,8 @@ class RmbNetwork : public net::Network
     const Inc &leftOf(std::uint32_t i) const;
     const Inc &rightOf(std::uint32_t i) const;
 
-    /** RNG stream (backoff jitter). */
+    /** RNG stream (backoff jitter, INC clock phase). */
     sim::Random &rng() { return rng_; }
-
-  private:
     // --- protocol steps (all take the bus id; the bus may die) ---
     void tryInject(net::NodeId node);
     void headerArrive(VirtualBusId bus_id);
@@ -218,6 +245,12 @@ class RmbNetwork : public net::Network
         const;
 
     VirtualBus &busRef(VirtualBusId id);
+
+    /** Assemble a trace event carrying @p bus's identity. */
+    obs::TraceEvent busEvent(obs::EventKind kind,
+                             const VirtualBus &bus,
+                             net::NodeId node, GapId gap = 0,
+                             Level level = kNoLevel) const;
 
     void checkAfterMutation() const;
 

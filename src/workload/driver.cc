@@ -34,7 +34,8 @@ runBatch(net::Network &network, const PairList &pairs,
 
     auto &simulator = network.simulator();
     const sim::Tick start = simulator.now();
-    const net::NetworkStats before = network.stats();
+    const std::uint64_t nacks_before = network.stats().nacks;
+    const std::uint64_t retries_before = network.stats().retries;
 
     std::vector<net::MessageId> ids;
     ids.reserve(pairs.size());
@@ -58,8 +59,8 @@ runBatch(net::Network &network, const PairList &pairs,
     }
     r.completed = r.delivered == ids.size();
     r.makespan = last_delivery - start;
-    r.nacks = network.stats().nacks - before.nacks;
-    r.retries = network.stats().retries - before.retries;
+    r.nacks = network.stats().nacks - nacks_before;
+    r.retries = network.stats().retries - retries_before;
     r.meanLatency = latency.count() ? latency.mean() : 0.0;
     r.maxLatency = latency.count() ? latency.max() : 0.0;
     r.meanSetupLatency = setup.count() ? setup.mean() : 0.0;
@@ -83,7 +84,10 @@ runOpenLoop(net::Network &network, TrafficPattern &pattern,
 
     // Message ids created inside the measurement window.
     auto measured = std::make_shared<std::vector<net::MessageId>>();
-    const net::NetworkStats before = network.stats();
+    const std::uint64_t injected_before = network.stats().injected;
+    const std::uint64_t delivered_before =
+        network.stats().delivered;
+    const std::uint64_t nacks_before = network.stats().nacks;
 
     // One self-rescheduling generator per node.  Each generator owns
     // a forked RNG stream so results do not depend on event ordering
@@ -170,9 +174,9 @@ runOpenLoop(net::Network &network, TrafficPattern &pattern,
         static_cast<double>(duration - warmup) *
         static_cast<double>(network.numNodes());
     r.throughput = static_cast<double>(delivered_in_window) / window;
-    r.injected = network.stats().injected - before.injected;
-    r.delivered = network.stats().delivered - before.delivered;
-    r.nacks = network.stats().nacks - before.nacks;
+    r.injected = network.stats().injected - injected_before;
+    r.delivered = network.stats().delivered - delivered_before;
+    r.nacks = network.stats().nacks - nacks_before;
     r.meanLatency = latency.count() ? latency.mean() : 0.0;
     r.p95Latency = latency.count() ? latency.percentile(95.0) : 0.0;
     r.maxLatency = latency.count() ? latency.max() : 0.0;

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests of the observability subsystem: trace sinks and the event
+ * stream a send produces, the unified metrics registry and its JSON
+ * snapshot, run reports, and RmbConfig::validate().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/run_report.hh"
+#include "obs/sinks.hh"
+#include "obs/trace.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+
+namespace rmb {
+namespace core {
+namespace {
+
+RmbConfig
+testConfig(std::uint32_t n, std::uint32_t k, std::uint64_t seed = 1)
+{
+    RmbConfig cfg;
+    cfg.numNodes = n;
+    cfg.numBuses = k;
+    cfg.seed = seed;
+    cfg.verify = VerifyLevel::Full;
+    return cfg;
+}
+
+void
+runToQuiescence(sim::Simulator &s, RmbNetwork &net,
+                sim::Tick limit = 1'000'000)
+{
+    while (!net.quiescent() && s.now() < limit)
+        s.run(256);
+}
+
+/** Background kinds a quiet network still emits. */
+bool
+isBackground(obs::EventKind kind)
+{
+    return kind == obs::EventKind::CycleFlip ||
+           kind == obs::EventKind::CompactionMake ||
+           kind == obs::EventKind::CompactionBreak;
+}
+
+TEST(TraceSink, SingleSendEmitsCanonicalSequence)
+{
+    sim::Simulator s;
+    RmbConfig cfg = testConfig(2, 2);
+    cfg.detailedFlits = true;
+    const std::uint32_t payload = 4;
+    RmbNetwork net(s, cfg);
+    obs::RingBufferSink sink(256);
+    net.setTraceSink(&sink);
+
+    const auto id = net.send(0, 1, payload);
+    runToQuiescence(s, net);
+    ASSERT_TRUE(net.quiescent());
+    ASSERT_EQ(net.message(id).state, net::MessageState::Delivered);
+
+    std::vector<obs::TraceEvent> protocol;
+    for (const auto &e : sink.events()) {
+        if (!isBackground(e.kind))
+            protocol.push_back(e);
+    }
+    ASSERT_FALSE(protocol.empty());
+
+    auto count = [&protocol](obs::EventKind kind) {
+        return std::count_if(protocol.begin(), protocol.end(),
+                             [kind](const obs::TraceEvent &e) {
+                                 return e.kind == kind;
+                             });
+    };
+    auto first = [&protocol](obs::EventKind kind) {
+        return std::find_if(protocol.begin(), protocol.end(),
+                            [kind](const obs::TraceEvent &e) {
+                                return e.kind == kind;
+                            }) -
+               protocol.begin();
+    };
+
+    // One clean connection: no Nacks, retries, blocks or failures.
+    EXPECT_EQ(count(obs::EventKind::Nack), 0);
+    EXPECT_EQ(count(obs::EventKind::Retry), 0);
+    EXPECT_EQ(count(obs::EventKind::Block), 0);
+    EXPECT_EQ(count(obs::EventKind::Fail), 0);
+
+    EXPECT_EQ(count(obs::EventKind::Inject), 1);
+    EXPECT_GE(count(obs::EventKind::HeaderHop), 1);
+    EXPECT_EQ(count(obs::EventKind::Hack), 1);
+    // payload flits plus the final flit; the FF carries no Dack.
+    EXPECT_EQ(count(obs::EventKind::DataFlit), payload + 1);
+    EXPECT_EQ(count(obs::EventKind::Dack), payload);
+    EXPECT_EQ(count(obs::EventKind::Deliver), 1);
+    EXPECT_EQ(count(obs::EventKind::Teardown), 1);
+
+    // Canonical ordering of the protocol phases.
+    EXPECT_LT(first(obs::EventKind::Inject),
+              first(obs::EventKind::HeaderHop));
+    EXPECT_LT(first(obs::EventKind::HeaderHop),
+              first(obs::EventKind::Hack));
+    EXPECT_LT(first(obs::EventKind::Hack),
+              first(obs::EventKind::DataFlit));
+    EXPECT_LT(first(obs::EventKind::DataFlit),
+              first(obs::EventKind::Deliver));
+    EXPECT_LT(first(obs::EventKind::Deliver),
+              first(obs::EventKind::Teardown));
+
+    // The teardown of a delivered message is Fack-initiated.
+    const auto &teardown =
+        protocol[static_cast<std::size_t>(
+            first(obs::EventKind::Teardown))];
+    EXPECT_EQ(teardown.a, obs::kTeardownFack);
+
+    // Every event carries the message id and a JSON-clean render.
+    for (const auto &e : protocol) {
+        EXPECT_EQ(e.message, id);
+        EXPECT_TRUE(obs::jsonValid(obs::toJsonLine(e)))
+            << obs::toJsonLine(e);
+    }
+}
+
+TEST(TraceSink, CountingSinkTalliesPerKind)
+{
+    obs::CountingSink sink;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::Inject;
+    sink.onEvent(e);
+    sink.onEvent(e);
+    e.kind = obs::EventKind::Dack;
+    sink.onEvent(e);
+    EXPECT_EQ(sink.count(obs::EventKind::Inject), 2u);
+    EXPECT_EQ(sink.count(obs::EventKind::Dack), 1u);
+    EXPECT_EQ(sink.count(obs::EventKind::Teardown), 0u);
+    EXPECT_EQ(sink.total(), 3u);
+    sink.reset();
+    EXPECT_EQ(sink.total(), 0u);
+}
+
+TEST(TraceSink, RingBufferRetainsLastN)
+{
+    obs::RingBufferSink sink(4);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::Inject;
+        e.a = i;
+        sink.onEvent(e);
+    }
+    EXPECT_EQ(sink.seen(), 10u);
+    EXPECT_EQ(sink.capacity(), 4u);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].a, 6 + i) << "slot " << i;
+
+    std::ostringstream dump;
+    sink.dump(dump);
+    std::istringstream lines(dump.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(obs::jsonValid(line)) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 4u);
+}
+
+TEST(TraceSink, JsonlFileSinkWritesValidLines)
+{
+    const std::string path = "obs_test_trace.jsonl";
+    {
+        obs::JsonlFileSink sink(path);
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::HeaderHop;
+        e.message = 7;
+        sink.onEvent(e);
+        e.kind = obs::EventKind::Deliver;
+        sink.onEvent(e);
+        EXPECT_EQ(sink.written(), 2u);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(obs::jsonValid(line)) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, ReferencesAreStableAndShapesChecked)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &a = reg.counter("alpha");
+    ++a;
+    // Later registrations must not move earlier metrics.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("bulk." + std::to_string(i));
+    EXPECT_EQ(&a, &reg.counter("alpha"));
+    EXPECT_EQ(reg.counter("alpha").value(), 1u);
+
+    reg.sampler("dist").add(3.0);
+    reg.level("lvl").adjust(0, 2);
+    EXPECT_TRUE(reg.has("alpha"));
+    EXPECT_TRUE(reg.has("dist"));
+    EXPECT_TRUE(reg.has("lvl"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_EQ(reg.size(), 103u);
+
+    const auto names = reg.names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_EQ(names.size(), reg.size());
+}
+
+TEST(MetricsRegistry, SnapshotIsValidJsonAndComplete)
+{
+    sim::Simulator s;
+    RmbNetwork net(s, testConfig(8, 3));
+    const auto id = net.send(1, 5, 16);
+    runToQuiescence(s, net);
+    ASSERT_EQ(net.message(id).state, net::MessageState::Delivered);
+
+    const std::string snap = net.metrics().snapshot(s.now());
+    EXPECT_TRUE(obs::jsonValid(snap)) << snap;
+
+    // Every counter the typed stats views name must be present.
+    for (const char *name :
+         {"net.injected", "net.delivered", "net.failed",
+          "net.nacks", "net.retries", "net.queue_delay",
+          "net.setup_latency", "net.total_latency",
+          "net.path_length", "net.active_circuits",
+          "rmb.compaction.moves", "rmb.blocked.headers",
+          "rmb.blocked.aborts", "rmb.timeout.aborts",
+          "rmb.cycle.flips", "rmb.dacks", "rmb.cycle.max_skew",
+          "rmb.multicasts", "rmb.top_release_latency",
+          "rmb.multicast.member_latency", "rmb.blocked.time",
+          "rmb.live_buses"}) {
+        EXPECT_TRUE(net.metrics().has(name)) << name;
+        EXPECT_NE(snap.find(std::string("\"") + name + "\""),
+                  std::string::npos)
+            << name << " missing from snapshot";
+    }
+
+    // The typed views alias the registry: same underlying storage.
+    EXPECT_EQ(net.stats().delivered.value(),
+              net.metrics().counter("net.delivered").value());
+    EXPECT_EQ(net.stats().delivered.value(), 1u);
+}
+
+TEST(RunReport, RoundTripsThroughJson)
+{
+    obs::RunReport report("obs_test");
+    report.set("alpha", std::uint64_t{3});
+    report.set("beta", "quote\"and\\slash");
+    report.set("gamma", 1.5);
+    report.set("delta", true);
+    report.setRaw("nested", "{\"x\":[1,2,3]}");
+    const std::string json = report.toJson();
+    EXPECT_TRUE(obs::jsonValid(json)) << json;
+    // Tool identity first, fields in insertion order.
+    EXPECT_EQ(json.rfind("{\"tool\":\"obs_test\"", 0), 0u);
+    EXPECT_NE(json.find("\"nested\":{\"x\":[1,2,3]}"),
+              std::string::npos);
+}
+
+TEST(RmbConfigValidate, AcceptsDefaultsRejectsNonsense)
+{
+    EXPECT_TRUE(RmbConfig{}.validate().empty());
+
+    RmbConfig no_buses;
+    no_buses.numBuses = 0;
+    EXPECT_FALSE(no_buses.validate().empty());
+
+    RmbConfig inverted;
+    inverted.cyclePeriodMin = 12;
+    inverted.cyclePeriodMax = 6;
+    EXPECT_FALSE(inverted.validate().empty());
+
+    RmbConfig closed_window;
+    closed_window.detailedFlits = true;
+    closed_window.dackWindow = 0;
+    EXPECT_FALSE(closed_window.validate().empty());
+
+    // Messages should be actionable: they name the offending value.
+    const auto problems = no_buses.validate();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("numBuses=0"), std::string::npos);
+}
+
+TEST(RmbConfigValidate, NetworkRefusesInvalidConfig)
+{
+    sim::Simulator s;
+    RmbConfig bad = testConfig(8, 0);
+    EXPECT_DEATH({ RmbNetwork net(s, bad); }, "numBuses=0");
+}
+
+} // namespace
+} // namespace core
+} // namespace rmb

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * json_check - validate that a file (or stdin) holds one JSON value,
+ * or, with --jsonl, one JSON value per line.  Exit 0 iff valid and
+ * non-empty.  Keeps the project's JSON emitters honest from CTest
+ * without external dependencies.
+ *
+ * Usage: json_check [--jsonl] [FILE|-]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    bool jsonl = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jsonl") {
+            jsonl = true;
+        } else if (arg == "--help" || arg == "-h" ||
+                   (!path.empty() && path != "-")) {
+            std::cerr << "usage: json_check [--jsonl] [FILE|-]\n";
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (!path.empty() && path != "-") {
+        file.open(path);
+        if (!file) {
+            std::cerr << "json_check: cannot open '" << path
+                      << "'\n";
+            return 2;
+        }
+        in = &file;
+    }
+
+    if (jsonl) {
+        std::string line;
+        std::size_t lineno = 0;
+        std::size_t values = 0;
+        while (std::getline(*in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            if (!rmb::obs::jsonValid(line)) {
+                std::cerr << "json_check: invalid JSON on line "
+                          << lineno << "\n";
+                return 1;
+            }
+            ++values;
+        }
+        if (values == 0) {
+            std::cerr << "json_check: no JSON values found\n";
+            return 1;
+        }
+        std::cout << values << " JSONL values OK\n";
+        return 0;
+    }
+
+    std::ostringstream all;
+    all << in->rdbuf();
+    if (!rmb::obs::jsonValid(all.str())) {
+        std::cerr << "json_check: invalid JSON\n";
+        return 1;
+    }
+    std::cout << "JSON OK\n";
+    return 0;
+}

@@ -35,6 +35,8 @@
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/run_report.hh"
+#include "obs/sinks.hh"
 #include "rmb/dual_ring.hh"
 #include "rmb/grid.hh"
 #include "rmb/network.hh"
@@ -72,6 +74,11 @@ struct Options
     std::string replay;
     bool csv = false;
     bool json = false;
+    /** --json FILE: write an obs::RunReport there instead of
+     *  printing the stats JSON to stdout. */
+    std::string jsonPath;
+    /** --trace FILE: stream every protocol event there as JSONL. */
+    std::string tracePath;
     bool heatmap = false;
 };
 
@@ -94,7 +101,8 @@ usage()
            "  --ports S,R                (send,receive ports/PE)\n"
            "  --no-compaction\n"
            "  --record FILE | --replay FILE\n"
-           "  --csv | --json | --heatmap\n";
+           "  --csv | --json [FILE] | --heatmap\n"
+           "  --trace FILE               (JSONL protocol events)\n";
     std::exit(2);
 }
 
@@ -159,6 +167,12 @@ parse(int argc, char **argv)
             o.csv = true;
         } else if (arg == "--json") {
             o.json = true;
+            // Optional argument: a bare --json keeps the legacy
+            // stats-JSON-to-stdout behaviour.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                o.jsonPath = argv[++i];
+        } else if (arg == "--trace") {
+            o.tracePath = need(i);
         } else if (arg == "--heatmap") {
             o.heatmap = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -307,10 +321,28 @@ stochasticWorkload(const Options &o, net::NodeId n)
 }
 
 void
+writeReport(const Options &o, const net::Network &network,
+            sim::Tick now)
+{
+    obs::RunReport report("rmbsim");
+    report.set("network", o.network);
+    report.set("workload", o.workload);
+    report.set("nodes", std::uint64_t{network.numNodes()});
+    report.set("payload", std::uint64_t{o.payload});
+    report.set("seed", o.seed);
+    report.set("ticks", static_cast<std::uint64_t>(now));
+    report.setRaw("stats", report::statsToJson(network, now));
+    report.setRaw("metrics", network.metrics().snapshot(now));
+    report.write(o.jsonPath);
+}
+
+void
 printStats(const Options &o, const net::Network &network,
            sim::Tick now)
 {
-    if (o.json) {
+    if (!o.jsonPath.empty())
+        writeReport(o, network, now);
+    if (o.json && o.jsonPath.empty()) {
         std::cout << report::statsToJson(network, now) << "\n";
         if (!o.heatmap)
             return;
@@ -371,6 +403,12 @@ main(int argc, char **argv)
 
     sim::Simulator simulator;
     auto network = makeNetwork(o, simulator);
+    std::unique_ptr<obs::JsonlFileSink> traceSink;
+    if (!o.tracePath.empty()) {
+        traceSink =
+            std::make_unique<obs::JsonlFileSink>(o.tracePath);
+        network->setTraceSink(traceSink.get());
+    }
     sim::Random rng(o.seed);
 
     if (!o.replay.empty()) {
