@@ -44,6 +44,7 @@ main(int argc, char **argv)
     const int trials = h.fast() ? 4 : 12;
     const std::uint32_t n = 16;
     const std::uint32_t payload = 24;
+    const sim::Random root(h.seed(12));
 
     const std::vector<Policy> policies{
         {"Wait (hold bus)", core::BlockingPolicy::Wait, 0},
@@ -66,13 +67,17 @@ main(int argc, char **argv)
                 core::RmbConfig cfg;
                 cfg.numNodes = n;
                 cfg.numBuses = k;
-                cfg.seed = static_cast<std::uint64_t>(trial) + 1;
+                // Same trial -> same permutation and network seed
+                // for every policy/k cell, so rows differ only by
+                // the policy under test.
+                const sim::Random trial_root =
+                    root.split(static_cast<std::uint64_t>(trial));
+                cfg.seed = trial_root.split(0).next();
                 cfg.blocking = p.blocking;
                 cfg.headerTimeout = p.timeout;
                 cfg.verify = core::VerifyLevel::Off;
                 core::RmbNetwork net(s, cfg);
-                sim::Random rng(
-                    static_cast<std::uint64_t>(trial) * 97 + 5);
+                sim::Random rng = trial_root.split(1);
                 const auto pairs = workload::toPairs(
                     workload::randomFullTraffic(n, rng));
                 const auto r = workload::runBatch(net, pairs,

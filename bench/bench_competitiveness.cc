@@ -32,6 +32,7 @@ main(int argc, char **argv)
 
     const int trials = h.fast() ? 3 : 10;
     const std::uint32_t payload = 32;
+    const sim::Random root(h.seed(7));
 
     offline::TimingModel timing;
 
@@ -47,8 +48,10 @@ main(int argc, char **argv)
             double greedy_sum = 0.0;
             double lb_sum = 0.0;
             for (int trial = 0; trial < trials; ++trial) {
-                sim::Random rng(
-                    static_cast<std::uint64_t>(trial) * 101 + n + k);
+                const sim::Random trial_root =
+                    root.split(n).split(k).split(
+                        static_cast<std::uint64_t>(trial));
+                sim::Random rng = trial_root.split(0);
                 const auto pairs = workload::toPairs(
                     workload::randomFullTraffic(n, rng));
 
@@ -56,7 +59,7 @@ main(int argc, char **argv)
                 core::RmbConfig cfg;
                 cfg.numNodes = n;
                 cfg.numBuses = k;
-                cfg.seed = trial + 1;
+                cfg.seed = trial_root.split(1).next();
                 cfg.verify = core::VerifyLevel::Off;
                 core::RmbNetwork net(s, cfg);
                 const auto r = workload::runBatch(net, pairs,
@@ -131,7 +134,7 @@ main(int argc, char **argv)
                 {"N", "k", "LB rounds", "optimal rounds",
                  "greedy rounds", "online makespan",
                  "opt-rounds makespan", "online/optimal"});
-    sim::Random erng(5);
+    sim::Random erng = root.split(99);
     for (std::uint32_t n : {8u, 10u, 12u}) {
         for (std::uint32_t k : {1u, 2u}) {
             const auto pairs = workload::toPairs(

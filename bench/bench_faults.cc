@@ -38,19 +38,25 @@ struct Outcome
 };
 
 Outcome
-run(std::uint32_t faults, Placement placement,
-    core::HeaderPolicy policy, int trials)
+run(const sim::Random &root, std::uint32_t faults,
+    Placement placement, core::HeaderPolicy policy, int trials)
 {
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
     Outcome out;
     out.trials = trials;
     for (int trial = 0; trial < trials; ++trial) {
+        // One substream per (fault count, trial); the placement and
+        // policy columns reuse it so each row compares identical
+        // traffic on identically-seeded networks.
+        const sim::Random trial_root =
+            root.split(faults).split(
+                static_cast<std::uint64_t>(trial));
         sim::Simulator s;
         core::RmbConfig cfg;
         cfg.numNodes = n;
         cfg.numBuses = k;
-        cfg.seed = static_cast<std::uint64_t>(trial) + 1;
+        cfg.seed = trial_root.split(0).next();
         cfg.headerPolicy = policy;
         cfg.maxRetries = 200; // bound the trap cases
         cfg.verify = core::VerifyLevel::Off;
@@ -69,8 +75,7 @@ run(std::uint32_t faults, Placement placement,
                 }
             }
         } else {
-            sim::Random frng(
-                static_cast<std::uint64_t>(trial) * 13 + faults);
+            sim::Random frng = trial_root.split(1);
             std::vector<std::uint32_t> per_gap(n, 0);
             std::uint32_t injected = 0;
             while (injected < faults) {
@@ -88,7 +93,7 @@ run(std::uint32_t faults, Placement placement,
             }
         }
 
-        sim::Random rng(static_cast<std::uint64_t>(trial) * 59 + 3);
+        sim::Random rng = trial_root.split(2);
         const auto pairs = workload::toPairs(
             workload::randomFullTraffic(n, rng));
         const auto r =
@@ -122,6 +127,7 @@ main(int argc, char **argv)
                          " policy (robustness)");
 
     const int trials = h.fast() ? 2 : 5;
+    const sim::Random root(h.seed(18));
 
     TextTable t("random permutation makespan, N = 32, k = 4;"
                 " '(c/t)' marks incomplete batches",
@@ -131,13 +137,13 @@ main(int argc, char **argv)
         t.addRow(
             {TextTable::num(std::uint64_t{faults}),
              TextTable::num(100.0 * faults / (32 * 4), 1),
-             cell(run(faults, Placement::BottomAligned,
+             cell(run(root, faults, Placement::BottomAligned,
                       core::HeaderPolicy::PreferLowest, trials)),
-             cell(run(faults, Placement::Scattered,
+             cell(run(root, faults, Placement::Scattered,
                       core::HeaderPolicy::PreferLowest, trials)),
-             cell(run(faults, Placement::BottomAligned,
+             cell(run(root, faults, Placement::BottomAligned,
                       core::HeaderPolicy::PreferStraight, trials)),
-             cell(run(faults, Placement::Scattered,
+             cell(run(root, faults, Placement::Scattered,
                       core::HeaderPolicy::PreferStraight,
                       trials))});
     }

@@ -6,16 +6,43 @@
  * report completion, Nacks and setup retries; we then overload the
  * ring (h-permutations with load > k) to show graceful serialization
  * rather than failure.
+ *
+ * All three grids run through exp::Runner: one point per
+ * (config, trial), each with an RNG substream split from the bench
+ * seed, so trials are independent of each other and of the worker
+ * schedule (`--jobs N` never changes a result).
  */
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/runner.hh"
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
 #include "workload/driver.hh"
 #include "workload/permutation.hh"
+
+namespace {
+
+using namespace rmb;
+
+/** One within-capacity or overload trial. */
+struct Trial
+{
+    bool ran = false;
+    bool completed = false;
+    std::uint32_t h = 0;
+    std::uint32_t load = 0;
+    double setup = 0.0;
+    double latency = 0.0;
+    double retriesPerMsg = 0.0;
+    double makespan = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,153 +54,215 @@ main(int argc, char **argv)
 
     const int trials = h.fast() ? 3 : 10;
     const std::uint32_t payload = 32;
+    const sim::Random root(h.seed(2024));
+    const exp::Runner runner(h.jobs());
 
-    TextTable t("random h-permutations on an RMB(N, k)",
-                {"N", "k", "h", "max ring load", "completed",
-                 "mean setup", "mean latency", "retries/msg"});
+    // --- within capacity: random h-permutations with load <= k ----
+    const std::vector<std::uint32_t> all_n = {16u, 32u, 64u};
+    const std::vector<std::uint32_t> all_k = {2u, 4u, 8u};
+    {
+        const sim::Random table_root = root.split(1);
+        std::vector<Trial> results(all_n.size() * all_k.size() *
+                                   trials);
+        runner.forEach(results.size(), [&](std::size_t i) {
+            const std::uint32_t n =
+                all_n[i / (all_k.size() * trials)];
+            const std::uint32_t k =
+                all_k[(i / trials) % all_k.size()];
+            const sim::Random point_root = table_root.split(i);
+            sim::Random rng = point_root.split(0);
 
-    sim::Random meta_rng(2024);
-    for (std::uint32_t n : {16u, 32u, 64u}) {
-        for (std::uint32_t k : {2u, 4u, 8u}) {
-            // Within capacity: load <= k.
-            std::uint64_t completed = 0;
-            std::uint64_t total = 0;
-            double setup_sum = 0.0;
-            double lat_sum = 0.0;
-            double retry_sum = 0.0;
-            std::uint32_t load_max = 0;
-            std::uint32_t h_used = 0;
-            for (int trial = 0; trial < trials; ++trial) {
-                workload::PairList pairs;
-                for (int attempt = 0; attempt < 500; ++attempt) {
-                    auto cand = workload::randomPartialPermutation(
-                        n, std::min(n / 2, 2 * k), meta_rng);
-                    if (workload::maxRingLoad(n, cand) <= k) {
-                        pairs = std::move(cand);
-                        break;
-                    }
+            workload::PairList pairs;
+            for (int attempt = 0; attempt < 500; ++attempt) {
+                auto cand = workload::randomPartialPermutation(
+                    n, std::min(n / 2, 2 * k), rng);
+                if (workload::maxRingLoad(n, cand) <= k) {
+                    pairs = std::move(cand);
+                    break;
                 }
-                if (pairs.empty())
-                    continue;
-                h_used = static_cast<std::uint32_t>(pairs.size());
-                load_max = std::max(
-                    load_max, workload::maxRingLoad(n, pairs));
-                sim::Simulator s;
-                core::RmbConfig cfg;
-                cfg.numNodes = n;
-                cfg.numBuses = k;
-                cfg.seed = static_cast<std::uint64_t>(trial) * 7 + 1;
-                cfg.verify = core::VerifyLevel::Off;
-                core::RmbNetwork net(s, cfg);
-                const auto r =
-                    workload::runBatch(net, pairs, payload);
-                ++total;
-                if (r.completed)
-                    ++completed;
-                setup_sum += r.meanSetupLatency;
-                lat_sum += r.meanLatency;
-                retry_sum += static_cast<double>(r.retries) /
-                             static_cast<double>(pairs.size());
             }
-            t.addRow({TextTable::num(std::uint64_t{n}),
-                      TextTable::num(std::uint64_t{k}),
-                      TextTable::num(std::uint64_t{h_used}),
-                      TextTable::num(std::uint64_t{load_max}),
-                      std::to_string(completed) + "/" +
-                          std::to_string(total),
-                      TextTable::num(setup_sum / trials, 1),
-                      TextTable::num(lat_sum / trials, 1),
-                      TextTable::num(retry_sum / trials, 2)});
-        }
-    }
-    h.table(t);
+            if (pairs.empty())
+                return;
+            Trial &t = results[i];
+            t.ran = true;
+            t.h = static_cast<std::uint32_t>(pairs.size());
+            t.load = workload::maxRingLoad(n, pairs);
+            sim::Simulator s;
+            core::RmbConfig cfg;
+            cfg.numNodes = n;
+            cfg.numBuses = k;
+            cfg.seed = point_root.split(1).next();
+            cfg.verify = core::VerifyLevel::Off;
+            core::RmbNetwork net(s, cfg);
+            const auto r = workload::runBatch(net, pairs, payload);
+            t.completed = r.completed;
+            t.setup = r.meanSetupLatency;
+            t.latency = r.meanLatency;
+            t.retriesPerMsg = static_cast<double>(r.retries) /
+                              static_cast<double>(pairs.size());
+        });
 
-    TextTable o("overloaded batches (full random permutations,"
-                " load >> k) still complete by serializing",
-                {"N", "k", "typical load", "completed", "makespan",
-                 "makespan vs k=8"});
-    for (std::uint32_t n : {16u, 32u}) {
-        double base = 0.0;
-        for (std::uint32_t k : {8u, 4u, 2u, 1u}) {
-            double makespan = 0.0;
-            std::uint32_t load = 0;
-            std::uint64_t completed = 0;
-            for (int trial = 0; trial < trials; ++trial) {
-                sim::Random rng(
-                    static_cast<std::uint64_t>(trial) * 131 + n);
-                const auto pairs = workload::toPairs(
-                    workload::randomFullTraffic(n, rng));
-                load = std::max(load,
-                                workload::maxRingLoad(n, pairs));
-                sim::Simulator s;
-                core::RmbConfig cfg;
-                cfg.numNodes = n;
-                cfg.numBuses = k;
-                cfg.seed = trial + 1;
-                cfg.verify = core::VerifyLevel::Off;
-                core::RmbNetwork net(s, cfg);
-                const auto r =
-                    workload::runBatch(net, pairs, payload);
-                if (r.completed)
-                    ++completed;
-                makespan += static_cast<double>(r.makespan);
+        TextTable t("random h-permutations on an RMB(N, k)",
+                    {"N", "k", "h", "max ring load", "completed",
+                     "mean setup", "mean latency", "retries/msg"});
+        std::size_t i = 0;
+        for (std::uint32_t n : all_n) {
+            for (std::uint32_t k : all_k) {
+                std::uint64_t completed = 0;
+                std::uint64_t total = 0;
+                double setup_sum = 0.0;
+                double lat_sum = 0.0;
+                double retry_sum = 0.0;
+                std::uint32_t load_max = 0;
+                std::uint32_t h_used = 0;
+                for (int trial = 0; trial < trials; ++trial, ++i) {
+                    const Trial &r = results[i];
+                    if (!r.ran)
+                        continue;
+                    ++total;
+                    if (r.completed)
+                        ++completed;
+                    h_used = r.h;
+                    load_max = std::max(load_max, r.load);
+                    setup_sum += r.setup;
+                    lat_sum += r.latency;
+                    retry_sum += r.retriesPerMsg;
+                }
+                t.addRow({TextTable::num(std::uint64_t{n}),
+                          TextTable::num(std::uint64_t{k}),
+                          TextTable::num(std::uint64_t{h_used}),
+                          TextTable::num(std::uint64_t{load_max}),
+                          std::to_string(completed) + "/" +
+                              std::to_string(total),
+                          TextTable::num(setup_sum / trials, 1),
+                          TextTable::num(lat_sum / trials, 1),
+                          TextTable::num(retry_sum / trials, 2)});
             }
-            makespan /= trials;
-            if (k == 8)
-                base = makespan;
-            o.addRow({TextTable::num(std::uint64_t{n}),
-                      TextTable::num(std::uint64_t{k}),
-                      TextTable::num(std::uint64_t{load}),
-                      std::to_string(completed) + "/" +
-                          std::to_string(trials),
-                      TextTable::num(makespan, 0),
-                      TextTable::num(makespan / base, 2)});
         }
+        h.table(t);
     }
-    h.table(o);
 
-    // h-relations: every node sends AND receives exactly h messages
-    // (the bulk-transfer generalization of the h-permutation).
-    TextTable h_table("random h-relations on an RMB(32, 4),"
-                      " payload 32",
-                      {"h", "messages", "max ring load", "makespan",
-                       "makespan/h", "completed"});
-    double base_per_h = 0.0;
-    for (const std::uint32_t h : {1u, 2u, 4u, 8u}) {
-        double makespan = 0.0;
-        std::uint32_t load = 0;
-        std::uint64_t completed = 0;
-        for (int trial = 0; trial < trials; ++trial) {
-            sim::Random rng(
-                static_cast<std::uint64_t>(trial) * 211 + h);
+    // --- overload: full random permutations, load >> k ------------
+    const std::vector<std::uint32_t> over_n = {16u, 32u};
+    const std::vector<std::uint32_t> over_k = {8u, 4u, 2u, 1u};
+    {
+        const sim::Random table_root = root.split(2);
+        std::vector<Trial> results(over_n.size() * over_k.size() *
+                                   trials);
+        runner.forEach(results.size(), [&](std::size_t i) {
+            const std::uint32_t n =
+                over_n[i / (over_k.size() * trials)];
+            const std::uint32_t k =
+                over_k[(i / trials) % over_k.size()];
+            const sim::Random point_root = table_root.split(i);
+            sim::Random rng = point_root.split(0);
+            const auto pairs = workload::toPairs(
+                workload::randomFullTraffic(n, rng));
+            Trial &t = results[i];
+            t.ran = true;
+            t.load = workload::maxRingLoad(n, pairs);
+            sim::Simulator s;
+            core::RmbConfig cfg;
+            cfg.numNodes = n;
+            cfg.numBuses = k;
+            cfg.seed = point_root.split(1).next();
+            cfg.verify = core::VerifyLevel::Off;
+            core::RmbNetwork net(s, cfg);
+            const auto r = workload::runBatch(net, pairs, payload);
+            t.completed = r.completed;
+            t.makespan = static_cast<double>(r.makespan);
+        });
+
+        TextTable o("overloaded batches (full random permutations,"
+                    " load >> k) still complete by serializing",
+                    {"N", "k", "typical load", "completed",
+                     "makespan", "makespan vs k=8"});
+        std::size_t i = 0;
+        for (std::uint32_t n : over_n) {
+            double base = 0.0;
+            for (std::uint32_t k : over_k) {
+                double makespan = 0.0;
+                std::uint32_t load = 0;
+                std::uint64_t completed = 0;
+                for (int trial = 0; trial < trials; ++trial, ++i) {
+                    const Trial &r = results[i];
+                    load = std::max(load, r.load);
+                    if (r.completed)
+                        ++completed;
+                    makespan += r.makespan;
+                }
+                makespan /= trials;
+                if (k == 8)
+                    base = makespan;
+                o.addRow({TextTable::num(std::uint64_t{n}),
+                          TextTable::num(std::uint64_t{k}),
+                          TextTable::num(std::uint64_t{load}),
+                          std::to_string(completed) + "/" +
+                              std::to_string(trials),
+                          TextTable::num(makespan, 0),
+                          TextTable::num(makespan / base, 2)});
+            }
+        }
+        h.table(o);
+    }
+
+    // --- h-relations: every node sends AND receives exactly h -----
+    const std::vector<std::uint32_t> all_h = {1u, 2u, 4u, 8u};
+    {
+        const sim::Random table_root = root.split(3);
+        std::vector<Trial> results(all_h.size() * trials);
+        runner.forEach(results.size(), [&](std::size_t i) {
+            const std::uint32_t hr = all_h[i / trials];
+            const sim::Random point_root = table_root.split(i);
+            sim::Random rng = point_root.split(0);
             const auto pairs =
-                workload::randomHRelation(32, h, rng);
-            load = std::max(load, workload::maxRingLoad(32, pairs));
+                workload::randomHRelation(32, hr, rng);
+            Trial &t = results[i];
+            t.ran = true;
+            t.load = workload::maxRingLoad(32, pairs);
             sim::Simulator s;
             core::RmbConfig cfg;
             cfg.numNodes = 32;
             cfg.numBuses = 4;
-            cfg.seed = trial + 1;
+            cfg.seed = point_root.split(1).next();
             cfg.verify = core::VerifyLevel::Off;
             core::RmbNetwork net(s, cfg);
             const auto r = workload::runBatch(net, pairs, payload,
                                               20'000'000);
-            if (r.completed)
-                ++completed;
-            makespan += static_cast<double>(r.makespan) / trials;
+            t.completed = r.completed;
+            t.makespan = static_cast<double>(r.makespan);
+        });
+
+        TextTable h_table("random h-relations on an RMB(32, 4),"
+                          " payload 32",
+                          {"h", "messages", "max ring load",
+                           "makespan", "makespan/h", "completed"});
+        double base_per_h = 0.0;
+        std::size_t i = 0;
+        for (const std::uint32_t hr : all_h) {
+            double makespan = 0.0;
+            std::uint32_t load = 0;
+            std::uint64_t completed = 0;
+            for (int trial = 0; trial < trials; ++trial, ++i) {
+                const Trial &r = results[i];
+                load = std::max(load, r.load);
+                if (r.completed)
+                    ++completed;
+                makespan += r.makespan / trials;
+            }
+            if (hr == 1)
+                base_per_h = makespan;
+            h_table.addRow(
+                {TextTable::num(std::uint64_t{hr}),
+                 TextTable::num(std::uint64_t{32 * hr}),
+                 TextTable::num(std::uint64_t{load}),
+                 TextTable::num(makespan, 0),
+                 TextTable::num(makespan / hr / base_per_h, 2),
+                 std::to_string(completed) + "/" +
+                     std::to_string(trials)});
         }
-        if (h == 1)
-            base_per_h = makespan;
-        h_table.addRow(
-            {TextTable::num(std::uint64_t{h}),
-             TextTable::num(std::uint64_t{32 * h}),
-             TextTable::num(std::uint64_t{load}),
-             TextTable::num(makespan, 0),
-             TextTable::num(makespan / h / base_per_h, 2),
-             std::to_string(completed) + "/" +
-                 std::to_string(trials)});
+        h.table(h_table);
     }
-    h.table(h_table);
 
     std::cout << "\nPaper shape check: within-capacity"
                  " h-permutations complete with zero destination"

@@ -6,14 +6,21 @@
  * delay", section 1).  Sweeps the per-node injection rate under
  * uniform and ring-local traffic and prints accepted throughput and
  * latency percentiles for the RMB and the arbitrated multibus.
+ *
+ * The grid runs through the experiment engine (exp::Runner): every
+ * (traffic, rate, network) point is an isolated simulation with its
+ * own RNG substream split from the bench seed, so `--jobs N` changes
+ * only wall-clock time, never a number in the tables.
  */
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "baselines/multibus.hh"
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/runner.hh"
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
 #include "workload/driver.hh"
@@ -30,7 +37,64 @@ main(int argc, char **argv)
     const std::uint32_t n = 32;
     const std::uint32_t k = 4;
     const std::uint32_t payload = 16;
+    const std::vector<double> rates = {0.0005, 0.001, 0.002,
+                                       0.004,  0.008, 0.016};
 
+    // The grid: (traffic locality) x (rate) x (network), flattened
+    // in table order so results land in stable row order no matter
+    // which worker finishes first.
+    struct Point
+    {
+        bool local;
+        double rate;
+        bool rmbNet;
+    };
+    std::vector<Point> grid;
+    for (const bool local : {false, true})
+        for (const double rate : rates)
+            for (const bool rmb_net : {true, false})
+                grid.push_back(Point{local, rate, rmb_net});
+
+    struct Row
+    {
+        std::string name;
+        workload::OpenLoopResult r;
+    };
+    std::vector<Row> rows(grid.size());
+
+    const sim::Random root(h.seed(42));
+    exp::Runner runner(h.jobs());
+    runner.forEach(grid.size(), [&](std::size_t i) {
+        const Point &pt = grid[i];
+        sim::Simulator s;
+        std::unique_ptr<net::Network> net;
+        if (pt.rmbNet) {
+            core::RmbConfig cfg;
+            cfg.numNodes = n;
+            cfg.numBuses = k;
+            cfg.verify = core::VerifyLevel::Off;
+            cfg.seed = root.split(2 * i).next();
+            net = std::make_unique<core::RmbNetwork>(s, cfg);
+        } else {
+            baseline::CircuitConfig cfg;
+            cfg.seed = root.split(2 * i).next();
+            net = std::make_unique<baseline::MultiBusNetwork>(
+                s, n, k, cfg);
+        }
+        std::unique_ptr<workload::TrafficPattern> pattern;
+        if (pt.local)
+            pattern =
+                std::make_unique<workload::LocalRingTraffic>(n, 4);
+        else
+            pattern = std::make_unique<workload::UniformTraffic>(n);
+        sim::Random rng = root.split(2 * i + 1);
+        rows[i].name = net->name();
+        rows[i].r = workload::runOpenLoop(*net, *pattern, pt.rate,
+                                          payload, duration, rng,
+                                          duration / 5);
+    });
+
+    std::size_t i = 0;
     for (const bool local : {false, true}) {
         TextTable t(std::string("open-loop load sweep, N = 32,"
                                 " k = 4, ") +
@@ -38,42 +102,16 @@ main(int argc, char **argv)
                         " traffic",
                     {"network", "offered", "throughput", "accepted%",
                      "mean lat", "p95 lat", "max lat"});
-        for (const double rate :
-             {0.0005, 0.001, 0.002, 0.004, 0.008, 0.016}) {
-            for (const bool rmb_net : {true, false}) {
-                sim::Simulator s;
-                std::unique_ptr<net::Network> net;
-                if (rmb_net) {
-                    core::RmbConfig cfg;
-                    cfg.numNodes = n;
-                    cfg.numBuses = k;
-                    cfg.verify = core::VerifyLevel::Off;
-                    net = std::make_unique<core::RmbNetwork>(s, cfg);
-                } else {
-                    baseline::CircuitConfig cfg;
-                    net = std::make_unique<
-                        baseline::MultiBusNetwork>(s, n, k, cfg);
-                }
-                std::unique_ptr<workload::TrafficPattern> pattern;
-                if (local) {
-                    pattern = std::make_unique<
-                        workload::LocalRingTraffic>(n, 4);
-                } else {
-                    pattern = std::make_unique<
-                        workload::UniformTraffic>(n);
-                }
-                sim::Random rng(42);
-                const auto r = workload::runOpenLoop(
-                    *net, *pattern, rate, payload, duration, rng,
-                    duration / 5);
-                t.addRow(
-                    {net->name(), TextTable::num(rate, 4),
-                     TextTable::num(r.throughput, 4),
-                     TextTable::num(100.0 * r.throughput / rate, 1),
-                     TextTable::num(r.meanLatency, 0),
-                     TextTable::num(r.p95Latency, 0),
-                     TextTable::num(r.maxLatency, 0)});
-            }
+        for (std::size_t p = 0; p < rates.size() * 2; ++p, ++i) {
+            const Row &row = rows[i];
+            t.addRow({row.name, TextTable::num(grid[i].rate, 4),
+                      TextTable::num(row.r.throughput, 4),
+                      TextTable::num(
+                          100.0 * row.r.throughput / grid[i].rate,
+                          1),
+                      TextTable::num(row.r.meanLatency, 0),
+                      TextTable::num(row.r.p95Latency, 0),
+                      TextTable::num(row.r.maxLatency, 0)});
         }
         h.table(t);
     }

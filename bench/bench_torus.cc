@@ -28,6 +28,7 @@ main(int argc, char **argv)
 
     const std::uint32_t payload = 32;
     const int trials = h.fast() ? 2 : 5;
+    const sim::Random root(h.seed(15));
 
     TextTable t("random permutation makespan (ticks); torus rings"
                 " and single ring both use k = 4",
@@ -48,15 +49,21 @@ main(int argc, char **argv)
         double torus_hops = 0.0;
         double ring_hops = 0.0;
         for (int trial = 0; trial < trials; ++trial) {
-            sim::Random rng(
-                static_cast<std::uint64_t>(trial) * 37 + n);
+            // All three networks in a row share the trial substream:
+            // same permutation, same network seed.
+            const sim::Random trial_root =
+                root.split(n).split(
+                    static_cast<std::uint64_t>(trial));
+            const std::uint64_t net_seed =
+                trial_root.split(1).next();
+            sim::Random rng = trial_root.split(0);
             const auto pairs = workload::toPairs(
                 workload::randomFullTraffic(n, rng));
             {
                 sim::Simulator s;
                 core::RmbConfig cfg;
                 cfg.numBuses = 4;
-                cfg.seed = trial + 1;
+                cfg.seed = net_seed;
                 cfg.verify = core::VerifyLevel::Off;
                 core::RmbTorusNetwork net(s, shape.w, shape.h,
                                           cfg);
@@ -71,7 +78,7 @@ main(int argc, char **argv)
                 core::RmbConfig cfg;
                 cfg.numNodes = n;
                 cfg.numBuses = 4;
-                cfg.seed = trial + 1;
+                cfg.seed = net_seed;
                 cfg.verify = core::VerifyLevel::Off;
                 core::RmbNetwork net(s, cfg);
                 const auto r = workload::runBatch(net, pairs,
@@ -83,7 +90,7 @@ main(int argc, char **argv)
             {
                 sim::Simulator s;
                 baseline::CircuitConfig cfg;
-                cfg.seed = trial + 1;
+                cfg.seed = net_seed;
                 baseline::MeshNetwork net(s, shape.w, shape.h,
                                           cfg);
                 const auto r = workload::runBatch(net, pairs,
@@ -109,7 +116,7 @@ main(int argc, char **argv)
                 " random permutation",
                 {"layout", "makespan", "mean hops", "rings",
                  "multi-leg msgs"});
-    sim::Random rng(17);
+    sim::Random rng = root.split(99);
     const auto pairs =
         workload::toPairs(workload::randomFullTraffic(64, rng));
     struct Layout

@@ -10,6 +10,10 @@
  *   --json <path>  also write an obs::RunReport (banner fields plus
  *                  every printed table) as one JSON document
  *   --seed <n>     override the experiment's base RNG seed
+ *   --jobs <n>     worker threads for benches that fan their grid
+ *                  through exp::Runner (0 = all cores); results are
+ *                  identical for every value, so it is deliberately
+ *                  not recorded in the JSON report
  *
  * The old RMB_BENCH_FAST environment variable still works as a
  * deprecated fallback for --fast (with a stderr warning).
@@ -56,6 +60,11 @@ class Harness
                     usage(argv[0], "--seed needs an integer", 2);
                 seed_ = std::strtoull(argv[++i], nullptr, 10);
                 seedSet_ = true;
+            } else if (arg == "--jobs") {
+                if (i + 1 >= argc)
+                    usage(argv[0], "--jobs needs an integer", 2);
+                jobs_ = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10));
             } else if (arg == "--help" || arg == "-h") {
                 usage(argv[0], "", 0);
             } else {
@@ -108,6 +117,10 @@ class Harness
         return seedSet_ ? seed_ : fallback;
     }
 
+    /** Worker threads for grid execution (1 unless --jobs given;
+     *  --jobs 0 means one per core, resolved by exp::Runner). */
+    unsigned jobs() const { return jobs_; }
+
     /** Print @p t to stdout and record it for the JSON report. */
     void
     table(const TextTable &t)
@@ -154,8 +167,10 @@ class Harness
     {
         if (!error.empty())
             std::cerr << argv0 << ": " << error << '\n';
-        std::cerr << "usage: " << argv0
-                  << " [--fast] [--json <path>] [--seed <n>]\n";
+        (code == 0 ? std::cout : std::cerr)
+            << "usage: " << argv0
+            << " [--fast] [--json <path>] [--seed <n>]"
+               " [--jobs <n>] [--help]\n";
         std::exit(code);
     }
 
@@ -165,6 +180,7 @@ class Harness
     std::string jsonPath_;
     std::uint64_t seed_ = 0;
     bool seedSet_ = false;
+    unsigned jobs_ = 1;
     obs::RunReport report_;
     /** Pre-serialised JSON object per printed table. */
     std::vector<std::string> tables_;

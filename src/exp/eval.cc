@@ -1,0 +1,400 @@
+#include "exp/eval.hh"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/fattree.hh"
+#include "baselines/hypercube.hh"
+#include "baselines/mesh.hh"
+#include "baselines/multibus.hh"
+#include "baselines/wormhole_ring.hh"
+#include "common/bitutils.hh"
+#include "obs/json.hh"
+#include "rmb/dual_ring.hh"
+#include "rmb/network.hh"
+#include "rmb/torus.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+#include "workload/traffic.hh"
+
+namespace rmb {
+namespace exp {
+
+namespace {
+
+std::string
+num(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null";
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** A failed PointResult with one actionable message. */
+PointResult
+failPoint(const PointConfig &pt, std::string why)
+{
+    PointResult r;
+    r.index = pt.index;
+    r.ok = false;
+    r.error = std::move(why);
+    return r;
+}
+
+core::RmbConfig
+rmbConfig(const PointConfig &pt, std::uint64_t net_seed)
+{
+    core::RmbConfig cfg;
+    cfg.numNodes = pt.nodes;
+    cfg.numBuses = pt.buses;
+    cfg.seed = net_seed;
+    cfg.enableCompaction = pt.compaction;
+    cfg.sendPorts = pt.sendPorts;
+    cfg.receivePorts = pt.receivePorts;
+    cfg.detailedFlits = pt.detailedFlits;
+    cfg.verify = core::VerifyLevel::Off;
+    cfg.headerPolicy = pt.header == "straight"
+                           ? core::HeaderPolicy::PreferStraight
+                           : core::HeaderPolicy::PreferLowest;
+    if (pt.blocking == "wait") {
+        cfg.blocking = core::BlockingPolicy::Wait;
+    } else if (pt.blocking.rfind("wait:", 0) == 0) {
+        cfg.blocking = core::BlockingPolicy::Wait;
+        cfg.headerTimeout = std::stoull(pt.blocking.substr(5));
+    } else {
+        cfg.blocking = core::BlockingPolicy::NackRetry;
+    }
+    return cfg;
+}
+
+/**
+ * Build the point's network, or return nullptr with @p error set.
+ * Mirrors rmbsim's factory, but reports problems instead of calling
+ * fatal() so one bad point cannot take down the sweep.
+ */
+std::unique_ptr<net::Network>
+makeNetwork(const PointConfig &pt, sim::Simulator &simulator,
+            std::uint64_t net_seed, std::string &error)
+{
+    const bool torus_like =
+        pt.network == "torus" || pt.network == "mesh";
+    const std::uint32_t nodes =
+        torus_like ? pt.width * pt.height : pt.nodes;
+    if (nodes < 2) {
+        error = "network needs at least 2 nodes, got " +
+                std::to_string(nodes);
+        return nullptr;
+    }
+
+    if (pt.network == "rmb" || pt.network == "dualring" ||
+        pt.network == "torus") {
+        core::RmbConfig cfg = rmbConfig(pt, net_seed);
+        if (pt.network == "torus")
+            cfg.numNodes = pt.width; // per-ring size; ctor resets it
+        const auto problems = cfg.validate();
+        if (!problems.empty()) {
+            error = problems.front();
+            for (std::size_t i = 1; i < problems.size(); ++i)
+                error += "; " + problems[i];
+            return nullptr;
+        }
+        if (pt.network == "rmb")
+            return std::make_unique<core::RmbNetwork>(simulator,
+                                                      cfg);
+        if (pt.network == "dualring")
+            return std::make_unique<core::DualRingRmbNetwork>(
+                simulator, cfg);
+        return std::make_unique<core::RmbTorusNetwork>(
+            simulator, pt.width, pt.height, cfg);
+    }
+
+    baseline::CircuitConfig circuit;
+    circuit.seed = net_seed;
+    if (pt.network == "ring")
+        return std::make_unique<baseline::IdealRingNetwork>(
+            simulator, nodes, pt.buses, circuit);
+    if (pt.network == "mesh")
+        return std::make_unique<baseline::MeshNetwork>(
+            simulator, pt.width, pt.height, circuit);
+    if (pt.network == "hypercube" || pt.network == "ehc") {
+        if (!isPowerOfTwo(nodes)) {
+            error = "network '" + pt.network +
+                    "' needs nodes = 2^n, got " +
+                    std::to_string(nodes);
+            return nullptr;
+        }
+        return std::make_unique<baseline::HypercubeNetwork>(
+            simulator, log2Floor(nodes), circuit,
+            pt.network == "ehc");
+    }
+    if (pt.network == "fattree")
+        return std::make_unique<baseline::FatTreeNetwork>(
+            simulator, nodes, pt.buses, circuit);
+    if (pt.network == "multibus")
+        return std::make_unique<baseline::MultiBusNetwork>(
+            simulator, nodes, pt.buses, circuit);
+    if (pt.network == "wormhole") {
+        baseline::WormholeConfig cfg;
+        cfg.vcsPerClass = pt.buses / 2 ? pt.buses / 2 : 1;
+        return std::make_unique<baseline::WormholeRingNetwork>(
+            simulator, nodes, cfg);
+    }
+    error = "unknown network '" + pt.network + "'";
+    return nullptr;
+}
+
+/** Batch pairs for permutation-style workloads; empty if the
+ *  workload is stochastic.  Sets @p error for shape problems. */
+workload::PairList
+batchPairs(const PointConfig &pt, net::NodeId n, sim::Random &rng,
+           std::string &error)
+{
+    const std::string &w = pt.workload;
+    const bool pow2 = isPowerOfTwo(n);
+    if ((w == "bitrev" || w == "shuffle" || w == "transpose") &&
+        !pow2) {
+        error = "workload '" + w + "' needs nodes = 2^n, got " +
+                std::to_string(n);
+        return {};
+    }
+    if (w == "transpose" && pow2 && log2Floor(n) % 2 != 0) {
+        error = "workload 'transpose' needs an even number of"
+                " address bits, got nodes = " +
+                std::to_string(n);
+        return {};
+    }
+    if (w == "randperm")
+        return workload::toPairs(
+            workload::randomFullTraffic(n, rng));
+    if (w == "bitrev")
+        return workload::toPairs(workload::bitReversal(n));
+    if (w == "shuffle")
+        return workload::toPairs(workload::perfectShuffle(n));
+    if (w == "transpose")
+        return workload::toPairs(workload::transpose(n));
+    if (w == "tornado")
+        return workload::toPairs(workload::rotation(n, n / 2));
+    if (w.rfind("rot:", 0) == 0)
+        return workload::toPairs(workload::rotation(
+            n, static_cast<net::NodeId>(
+                   std::stoul(w.substr(4)) % n)));
+    if (w.rfind("hrel:", 0) == 0)
+        return workload::randomHRelation(
+            n, static_cast<std::uint32_t>(std::stoul(w.substr(5))),
+            rng);
+    return {};
+}
+
+std::unique_ptr<workload::TrafficPattern>
+stochasticPattern(const PointConfig &pt, net::NodeId n)
+{
+    const std::string &w = pt.workload;
+    if (w == "uniform")
+        return std::make_unique<workload::UniformTraffic>(n);
+    if (w.rfind("local:", 0) == 0)
+        return std::make_unique<workload::LocalRingTraffic>(
+            n, static_cast<net::NodeId>(std::stoul(w.substr(6))));
+    if (w.rfind("hotspot:", 0) == 0)
+        return std::make_unique<workload::HotSpotTraffic>(
+            n, 0, std::stod(w.substr(8)));
+    return nullptr;
+}
+
+void
+appendNetworkMetrics(PointResult &r, const net::Network &network)
+{
+    const auto &s = network.stats();
+    r.metrics.emplace_back("injected", num(s.injected.value()));
+    r.metrics.emplace_back("delivered", num(s.delivered.value()));
+    r.metrics.emplace_back("failed", num(s.failed.value()));
+    r.metrics.emplace_back("nacks", num(s.nacks.value()));
+    r.metrics.emplace_back("retries", num(s.retries.value()));
+    r.metrics.emplace_back("mean_hops", num(s.pathLength.mean()));
+    r.metrics.emplace_back(
+        "peak_circuits",
+        num(static_cast<std::uint64_t>(s.activeCircuits.maximum())));
+    if (const auto *rmb =
+            dynamic_cast<const core::RmbNetwork *>(&network)) {
+        r.metrics.emplace_back(
+            "compaction_moves",
+            num(rmb->rmbStats().compactionMoves.value()));
+        r.metrics.emplace_back(
+            "max_cycle_skew",
+            num(rmb->rmbStats().maxCycleSkew.value()));
+    }
+}
+
+} // namespace
+
+PointResult
+runPoint(const PointConfig &pt)
+{
+    try {
+        if (pt.payload == 0)
+            return failPoint(pt, "payload must be >= 1 flit");
+
+        // Independent substreams per concern, all pure functions of
+        // the point seed: one for the network's internal randomness
+        // (clock jitter, backoff), one for workload generation.
+        const sim::Random point_root(pt.seed);
+        const std::uint64_t net_seed = point_root.split(0).next();
+        sim::Random wl_rng = point_root.split(1);
+
+        sim::Simulator simulator;
+        std::string error;
+        auto network = makeNetwork(pt, simulator, net_seed, error);
+        if (!network)
+            return failPoint(pt, error);
+
+        PointResult r;
+        r.index = pt.index;
+
+        const auto pairs =
+            batchPairs(pt, network->numNodes(), wl_rng, error);
+        if (!error.empty())
+            return failPoint(pt, error);
+
+        if (!pairs.empty()) {
+            const auto b = workload::runBatch(*network, pairs,
+                                              pt.payload, pt.timeout);
+            r.metrics.emplace_back(
+                "ticks",
+                num(static_cast<std::uint64_t>(simulator.now())));
+            r.metrics.emplace_back("completed",
+                                   b.completed ? "true" : "false");
+            r.metrics.emplace_back(
+                "makespan",
+                num(static_cast<std::uint64_t>(b.makespan)));
+            r.metrics.emplace_back("mean_latency",
+                                   num(b.meanLatency));
+            r.metrics.emplace_back("max_latency", num(b.maxLatency));
+            r.metrics.emplace_back("mean_setup",
+                                   num(b.meanSetupLatency));
+            appendNetworkMetrics(r, *network);
+            // A timed-out batch is a captured failure, not a crash:
+            // the metrics above still describe how far it got.
+            r.ok = b.completed;
+            if (!b.completed)
+                r.error = "batch incomplete after " +
+                          std::to_string(pt.timeout) +
+                          " simulated ticks (timeout)";
+            return r;
+        }
+
+        auto pattern = stochasticPattern(pt, network->numNodes());
+        if (!pattern)
+            return failPoint(pt, "unknown workload '" + pt.workload +
+                                     "'");
+        const auto o = workload::runOpenLoop(
+            *network, *pattern, pt.rate, pt.payload, pt.duration,
+            wl_rng, pt.duration / 5, pt.timeout);
+        r.metrics.emplace_back(
+            "ticks", num(static_cast<std::uint64_t>(simulator.now())));
+        r.metrics.emplace_back("offered_load", num(o.offeredLoad));
+        r.metrics.emplace_back("throughput", num(o.throughput));
+        r.metrics.emplace_back("mean_latency", num(o.meanLatency));
+        r.metrics.emplace_back("p95_latency", num(o.p95Latency));
+        r.metrics.emplace_back("max_latency", num(o.maxLatency));
+        r.metrics.emplace_back("mean_setup",
+                               num(o.meanSetupLatency));
+        appendNetworkMetrics(r, *network);
+        r.ok = true;
+        return r;
+    } catch (const std::exception &e) {
+        return failPoint(pt, std::string("exception: ") + e.what());
+    }
+}
+
+SweepOutcome
+runSweep(const SweepSpec &spec, unsigned jobs,
+         const ProgressFn &progress)
+{
+    SweepOutcome outcome;
+    outcome.points = spec.points();
+    outcome.results.resize(outcome.points.size());
+
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    Runner runner(jobs);
+    runner.forEach(outcome.points.size(), [&](std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        outcome.results[i] = runPoint(outcome.points[i]);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            Progress p;
+            p.completed = ++completed;
+            p.total = outcome.points.size();
+            p.index = i;
+            p.ok = outcome.results[i].ok;
+            p.label = outcome.points[i].label;
+            p.wallMillis = wall_ms;
+            progress(p);
+        }
+    });
+
+    for (const PointResult &r : outcome.results)
+        if (!r.ok)
+            ++outcome.failures;
+    return outcome;
+}
+
+obs::RunReport
+aggregate(const SweepSpec &spec, const SweepOutcome &outcome)
+{
+    obs::RunReport report("sweep");
+    report.set("sweep", spec.name());
+    report.set("seed", spec.masterSeed());
+    report.set("points_total",
+               static_cast<std::uint64_t>(outcome.points.size()));
+    report.set("points_failed",
+               static_cast<std::uint64_t>(outcome.failures));
+    report.setRaw("spec", spec.canonicalJson());
+
+    std::vector<std::string> docs;
+    docs.reserve(outcome.points.size());
+    for (std::size_t i = 0; i < outcome.points.size(); ++i) {
+        const PointConfig &pt = outcome.points[i];
+        const PointResult &r = outcome.results[i];
+        obs::JsonWriter json;
+        json.beginObject();
+        json.field("index", static_cast<std::uint64_t>(pt.index));
+        json.field("label", pt.label);
+        json.field("seed", pt.seed);
+        json.beginObject("params");
+        for (const auto &[field, value] : pt.params)
+            json.raw(field, value);
+        json.endObject();
+        json.field("ok", r.ok);
+        json.field("error", r.error);
+        json.beginObject("metrics");
+        for (const auto &[name, value] : r.metrics)
+            json.raw(name, value);
+        json.endObject();
+        json.endObject();
+        docs.push_back(json.str());
+    }
+    report.setRaw("points", obs::jsonArray(docs));
+    return report;
+}
+
+} // namespace exp
+} // namespace rmb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Point evaluation, sweep execution and report aggregation.
+ *
+ * runPoint() turns one PointConfig into one isolated simulation: its
+ * own sim::Simulator, its own network, its own RNG substream (split
+ * from the master seed at spec materialisation) - nothing shared, so
+ * points can run concurrently and in any order.  Failures (invalid
+ * configuration, simulated-tick timeout, runtime exception) are
+ * captured in the PointResult instead of killing the sweep.
+ *
+ * runSweep() fans a spec's points across a Runner and aggregate()
+ * merges the results into one obs::RunReport whose point array is in
+ * grid order regardless of completion order, so the artifact is
+ * byte-identical for every --jobs value.
+ */
+
+#ifndef RMB_EXP_EVAL_HH
+#define RMB_EXP_EVAL_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "obs/run_report.hh"
+
+namespace rmb {
+namespace exp {
+
+/** Outcome of one grid point. */
+struct PointResult
+{
+    std::size_t index = 0;
+    bool ok = false;
+    /** Why the point failed; empty when ok. */
+    std::string error;
+    /** (metric name, serialised JSON value) in fixed emission
+     *  order - the deterministic payload of the point. */
+    std::vector<std::pair<std::string, std::string>> metrics;
+};
+
+/** Run one point in isolation; never throws on config/sim errors. */
+PointResult runPoint(const PointConfig &point);
+
+/** Everything a finished sweep produced, in grid order. */
+struct SweepOutcome
+{
+    std::vector<PointConfig> points;
+    std::vector<PointResult> results; //!< index-aligned with points
+    std::size_t failures = 0;
+};
+
+/**
+ * Materialise @p spec and execute every point on @p jobs workers
+ * (0 = all cores).  @p progress, if set, observes completions as
+ * they happen (wall-clock timings live only there).
+ */
+SweepOutcome runSweep(const SweepSpec &spec, unsigned jobs,
+                      const ProgressFn &progress = {});
+
+/**
+ * Merge a sweep's per-point results into one RunReport: header
+ * fields, the canonical spec (self-describing artifact), and a
+ * "points" array in stable grid order.  Contains no wall-clock or
+ * host information by design.
+ */
+obs::RunReport aggregate(const SweepSpec &spec,
+                         const SweepOutcome &outcome);
+
+} // namespace exp
+} // namespace rmb
+
+#endif // RMB_EXP_EVAL_HH

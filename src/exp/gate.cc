@@ -1,0 +1,224 @@
+#include "exp/gate.hh"
+
+#include <cmath>
+
+namespace rmb {
+namespace exp {
+
+namespace {
+
+/** Tolerance table from the baseline's "tolerances" object. */
+struct Tolerances
+{
+    std::vector<std::pair<std::string, double>> entries;
+
+    static Tolerances
+    load(const obs::JsonValue &baseline, GateOutcome &outcome)
+    {
+        Tolerances t;
+        const obs::JsonValue *table = baseline.find("tolerances");
+        if (table == nullptr)
+            return t;
+        if (!table->isObject()) {
+            outcome.problems.push_back(
+                "baseline 'tolerances' must be an object of"
+                " name -> relative tolerance");
+            return t;
+        }
+        for (const auto &[key, value] : table->members()) {
+            if (!value.isNumber() || value.number() < 0.0) {
+                outcome.problems.push_back(
+                    "tolerance for '" + key +
+                    "' must be a non-negative number, got " +
+                    value.serialize());
+                continue;
+            }
+            t.entries.emplace_back(key, value.number());
+        }
+        return t;
+    }
+
+    /**
+     * Relative tolerance for the leaf at @p path whose final
+     * segment is @p leaf: exact path beats bare metric name beats
+     * "*" beats the command-line default.
+     */
+    double
+    resolve(const std::string &path, const std::string &leaf,
+            double fallback) const
+    {
+        const std::pair<std::string, double> *star = nullptr;
+        const std::pair<std::string, double> *by_leaf = nullptr;
+        for (const auto &entry : entries) {
+            if (entry.first == path)
+                return entry.second;
+            if (entry.first == leaf)
+                by_leaf = &entry;
+            else if (entry.first == "*")
+                star = &entry;
+        }
+        if (by_leaf != nullptr)
+            return by_leaf->second;
+        if (star != nullptr)
+            return star->second;
+        return fallback;
+    }
+};
+
+class Gate
+{
+  public:
+    Gate(const GateOptions &options, const Tolerances &tolerances,
+         GateOutcome &outcome)
+        : options_(options), tolerances_(tolerances),
+          outcome_(outcome)
+    {
+    }
+
+    void
+    walk(const obs::JsonValue &base, const obs::JsonValue *live,
+         const std::string &path, const std::string &leaf)
+    {
+        if (live == nullptr) {
+            outcome_.problems.push_back(
+                path + ": present in baseline but missing from the"
+                       " fresh report");
+            return;
+        }
+        switch (base.kind()) {
+          case obs::JsonValue::Kind::Object:
+            for (const auto &[key, value] : base.members()) {
+                walk(value, live->find(key),
+                     path.empty() ? key : path + '.' + key, key);
+            }
+            return;
+          case obs::JsonValue::Kind::Array: {
+            if (!live->isArray()) {
+                outcome_.problems.push_back(
+                    path + ": baseline has an array, fresh report"
+                           " has " +
+                    live->kindName());
+                return;
+            }
+            if (live->array().size() != base.array().size()) {
+                outcome_.problems.push_back(
+                    path + ": baseline has " +
+                    std::to_string(base.array().size()) +
+                    " elements, fresh report has " +
+                    std::to_string(live->array().size()));
+                return;
+            }
+            for (std::size_t i = 0; i < base.array().size(); ++i) {
+                walk(base.array()[i], &live->array()[i],
+                     path + '[' + std::to_string(i) + ']', leaf);
+            }
+            return;
+          }
+          case obs::JsonValue::Kind::Number:
+            compareNumber(base, *live, path, leaf);
+            return;
+          default:
+            compareExact(base, *live, path);
+            return;
+        }
+    }
+
+  private:
+    void
+    compareNumber(const obs::JsonValue &base,
+                  const obs::JsonValue &live,
+                  const std::string &path, const std::string &leaf)
+    {
+        ++outcome_.compared;
+        if (!live.isNumber()) {
+            outcome_.problems.push_back(
+                path + ": baseline has number " + base.serialize() +
+                ", fresh report has " + live.kindName() + " " +
+                live.serialize());
+            return;
+        }
+        const double b = base.number();
+        const double f = live.number();
+        const double rtol =
+            tolerances_.resolve(path, leaf, options_.rtol);
+        const double budget =
+            options_.atol + rtol * std::fabs(b);
+        if (std::fabs(f - b) <= budget)
+            return;
+        outcome_.problems.push_back(
+            path + ": fresh " + live.serialize() + " vs baseline " +
+            base.serialize() + " drifts past tolerance (|delta| " +
+            std::to_string(std::fabs(f - b)) + " > " +
+            std::to_string(budget) + ")");
+    }
+
+    void
+    compareExact(const obs::JsonValue &base,
+                 const obs::JsonValue &live, const std::string &path)
+    {
+        ++outcome_.compared;
+        if (base.serialize() != live.serialize()) {
+            outcome_.problems.push_back(
+                path + ": fresh " + live.serialize() +
+                " != baseline " + base.serialize());
+        }
+    }
+
+    const GateOptions &options_;
+    const Tolerances &tolerances_;
+    GateOutcome &outcome_;
+};
+
+} // namespace
+
+GateOutcome
+compareReports(const obs::JsonValue &fresh,
+               const obs::JsonValue &baseline,
+               const GateOptions &options)
+{
+    GateOutcome outcome;
+    const Tolerances tolerances =
+        Tolerances::load(baseline, outcome);
+    Gate gate(options, tolerances, outcome);
+    if (!baseline.isObject()) {
+        outcome.problems.push_back(
+            "baseline must be a JSON object, got " +
+            std::string(baseline.kindName()));
+    } else {
+        for (const auto &[key, value] : baseline.members()) {
+            if (key == "tolerances")
+                continue; // gate configuration, not data
+            gate.walk(value, fresh.find(key), key, key);
+        }
+    }
+    outcome.pass = outcome.problems.empty();
+    return outcome;
+}
+
+GateOutcome
+compareReportTexts(const std::string &fresh_json,
+                   const std::string &baseline_json,
+                   const GateOptions &options)
+{
+    GateOutcome outcome;
+    obs::JsonValue fresh;
+    obs::JsonValue baseline;
+    std::string error;
+    if (!obs::jsonParse(fresh_json, fresh, error)) {
+        outcome.problems.push_back("fresh report is not valid"
+                                   " JSON: " +
+                                   error);
+    }
+    if (!obs::jsonParse(baseline_json, baseline, error)) {
+        outcome.problems.push_back("baseline is not valid JSON: " +
+                                   error);
+    }
+    if (!outcome.problems.empty()) {
+        outcome.pass = false;
+        return outcome;
+    }
+    return compareReports(fresh, baseline, options);
+}
+
+} // namespace exp
+} // namespace rmb

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Baseline regression gate.
+ *
+ * Diffs a fresh RunReport (usually a sweep artifact) against a
+ * stored baseline JSON with per-metric tolerances, so CI can fail a
+ * change that drifts a metric past its budget.  The baseline is any
+ * JSON document - typically a previous report, optionally extended
+ * with a top-level "tolerances" object:
+ *
+ *   "tolerances": { "mean_latency": 0.05, "*": 0.01 }
+ *
+ * Every leaf of the baseline (except the "tolerances" subtree) must
+ * exist in the fresh report; numbers must agree within tolerance,
+ * everything else exactly.  Leaves only the fresh report has are
+ * ignored, so adding metrics never breaks existing baselines.
+ * Relative tolerance per leaf resolves most-specific-first: exact
+ * dotted path, then bare metric name, then "*", then the
+ * command-line default.
+ */
+
+#ifndef RMB_EXP_GATE_HH
+#define RMB_EXP_GATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.hh"
+
+namespace rmb {
+namespace exp {
+
+/** Command-line defaults for leaves without a baseline tolerance. */
+struct GateOptions
+{
+    double rtol = 0.0; //!< relative tolerance (fraction of baseline)
+    double atol = 0.0; //!< absolute tolerance floor
+};
+
+/** What the gate found. */
+struct GateOutcome
+{
+    bool pass = false;
+    std::size_t compared = 0; //!< baseline leaves checked
+    /** One actionable message per mismatch. */
+    std::vector<std::string> problems;
+};
+
+/** Diff @p fresh against @p baseline (parsed documents). */
+GateOutcome compareReports(const obs::JsonValue &fresh,
+                           const obs::JsonValue &baseline,
+                           const GateOptions &options = {});
+
+/**
+ * Parse and diff two report texts.  Parse failures come back as a
+ * failing outcome whose problems describe which document is broken.
+ */
+GateOutcome compareReportTexts(const std::string &fresh_json,
+                               const std::string &baseline_json,
+                               const GateOptions &options = {});
+
+} // namespace exp
+} // namespace rmb
+
+#endif // RMB_EXP_GATE_HH

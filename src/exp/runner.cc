@@ -1,0 +1,68 @@
+#include "exp/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmb {
+namespace exp {
+
+Runner::Runner(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+unsigned
+Runner::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+Runner::forEach(std::size_t count,
+                const std::function<void(std::size_t)> &fn) const
+{
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto work = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace exp
+} // namespace rmb

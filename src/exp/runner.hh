@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel execution of independent grid points.
+ *
+ * Runner is a dynamic-load-balancing thread pool: workers claim the
+ * next unclaimed index from a shared atomic counter, so long points
+ * never serialise behind short ones (the "work stealing" that
+ * matters for a grid of identical tasks with wildly different run
+ * times, e.g. a saturation sweep where the loaded points take 100x
+ * longer than the idle ones).
+ *
+ * The pool knows nothing about simulations; it runs fn(i) for every
+ * i in [0, count).  Determinism is the caller's contract: each index
+ * must touch only its own state (own Simulator, own RNG substream
+ * via sim::Random::split, own results slot), which is exactly how
+ * runSweep() and the converted benches use it - so the assembled
+ * output is byte-identical for every job count.
+ */
+
+#ifndef RMB_EXP_RUNNER_HH
+#define RMB_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rmb {
+namespace exp {
+
+/** One completed point, as seen by a progress observer. */
+struct Progress
+{
+    std::size_t completed = 0; //!< points finished so far
+    std::size_t total = 0;     //!< points in the run
+    std::size_t index = 0;     //!< grid index that just finished
+    bool ok = true;            //!< did the point succeed
+    std::string label;         //!< point label (may be empty)
+    double wallMillis = 0.0;   //!< wall-clock cost of the point
+};
+
+/**
+ * TraceSink-style observer for sweep progress.  Called serially
+ * (under the runner's lock) after each point completes; wall-clock
+ * timings are reported here and only here, never in artifacts, so
+ * reports stay byte-identical across machines and job counts.
+ */
+using ProgressFn = std::function<void(const Progress &)>;
+
+/** Thread pool over an index range. */
+class Runner
+{
+  public:
+    /** @param jobs worker threads; 0 means defaultJobs(). */
+    explicit Runner(unsigned jobs = 1);
+
+    /** std::thread::hardware_concurrency, floored at 1. */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run fn(i) for every i in [0, count), spread over min(jobs,
+     * count) workers; with one job everything runs inline on the
+     * calling thread.  Returns when all indices completed.  If fn
+     * throws, the first exception is rethrown here after the pool
+     * drains (callers that need per-point failure capture wrap fn -
+     * runSweep() records failures in the point result instead).
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace exp
+} // namespace rmb
+
+#endif // RMB_EXP_RUNNER_HH

@@ -1,0 +1,422 @@
+#include "exp/spec.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "sim/random.hh"
+
+namespace rmb {
+namespace exp {
+
+namespace {
+
+/** Workload name prefixes that carry a parameter suffix. */
+bool
+hasPrefix(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+knownNetwork(const std::string &n)
+{
+    static const std::set<std::string> names = {
+        "rmb",  "dualring",  "torus", "multibus", "ring",
+        "mesh", "hypercube", "ehc",   "fattree",  "wormhole"};
+    return names.count(n) != 0;
+}
+
+bool
+knownWorkload(const std::string &w)
+{
+    static const std::set<std::string> names = {
+        "randperm", "bitrev",  "shuffle", "transpose",
+        "tornado",  "uniform"};
+    return names.count(w) != 0 || hasPrefix(w, "rot:") ||
+           hasPrefix(w, "hrel:") || hasPrefix(w, "local:") ||
+           hasPrefix(w, "hotspot:");
+}
+
+std::string
+typeError(const std::string &field, const char *want,
+          const obs::JsonValue &got)
+{
+    return "field '" + field + "' expects " + want + ", got " +
+           got.kindName() + " " + got.serialize();
+}
+
+bool
+getU32(const obs::JsonValue &v, std::uint32_t &out)
+{
+    std::uint64_t wide = 0;
+    if (!v.asUint64(wide) || wide > UINT32_MAX)
+        return false;
+    out = static_cast<std::uint32_t>(wide);
+    return true;
+}
+
+} // namespace
+
+std::string
+PointConfig::set(const std::string &field, const obs::JsonValue &value)
+{
+    auto u32 = [&](std::uint32_t &slot) -> std::string {
+        if (!getU32(value, slot))
+            return typeError(field, "a non-negative integer", value);
+        return "";
+    };
+    auto u64 = [&](std::uint64_t &slot) -> std::string {
+        if (!value.asUint64(slot))
+            return typeError(field, "a non-negative integer", value);
+        return "";
+    };
+    auto str = [&](std::string &slot) -> std::string {
+        if (!value.isString())
+            return typeError(field, "a string", value);
+        slot = value.string();
+        return "";
+    };
+    auto boolean = [&](bool &slot) -> std::string {
+        if (!value.isBool())
+            return typeError(field, "a boolean", value);
+        slot = value.boolean();
+        return "";
+    };
+
+    if (field == "network") {
+        const std::string err = str(network);
+        if (!err.empty())
+            return err;
+        if (!knownNetwork(network)) {
+            return "unknown network '" + network +
+                   "' (try rmb, dualring, torus, multibus, ring,"
+                   " mesh, hypercube, ehc, fattree or wormhole)";
+        }
+        return "";
+    }
+    if (field == "workload") {
+        const std::string err = str(workload);
+        if (!err.empty())
+            return err;
+        if (!knownWorkload(workload)) {
+            return "unknown workload '" + workload +
+                   "' (try randperm, bitrev, shuffle, transpose,"
+                   " tornado, rot:<s>, hrel:<h>, uniform, local:<d>"
+                   " or hotspot:<f>)";
+        }
+        return "";
+    }
+    if (field == "nodes")
+        return u32(nodes);
+    if (field == "buses")
+        return u32(buses);
+    if (field == "width")
+        return u32(width);
+    if (field == "height")
+        return u32(height);
+    if (field == "rate") {
+        if (!value.isNumber() || value.number() <= 0.0 ||
+            value.number() > 1.0) {
+            return typeError(field, "a number in (0, 1]", value);
+        }
+        rate = value.number();
+        return "";
+    }
+    if (field == "payload")
+        return u32(payload);
+    if (field == "duration")
+        return u64(duration);
+    if (field == "timeout")
+        return u64(timeout);
+    if (field == "compaction")
+        return boolean(compaction);
+    if (field == "blocking") {
+        const std::string err = str(blocking);
+        if (!err.empty())
+            return err;
+        if (blocking != "nack" && blocking != "wait" &&
+            !hasPrefix(blocking, "wait:")) {
+            return "field 'blocking' expects nack, wait or"
+                   " wait:<timeout>, got '" +
+                   blocking + "'";
+        }
+        return "";
+    }
+    if (field == "header") {
+        const std::string err = str(header);
+        if (!err.empty())
+            return err;
+        if (header != "lowest" && header != "straight") {
+            return "field 'header' expects lowest or straight,"
+                   " got '" +
+                   header + "'";
+        }
+        return "";
+    }
+    if (field == "send_ports")
+        return u32(sendPorts);
+    if (field == "receive_ports")
+        return u32(receivePorts);
+    if (field == "detailed_flits")
+        return boolean(detailedFlits);
+
+    std::string known;
+    for (const auto &f : knownFields())
+        known += (known.empty() ? "" : ", ") + f;
+    return "unknown field '" + field + "' (known fields: " + known +
+           ")";
+}
+
+const std::vector<std::string> &
+PointConfig::knownFields()
+{
+    static const std::vector<std::string> fields = {
+        "network",    "nodes",         "buses",
+        "width",      "height",        "workload",
+        "rate",       "payload",       "duration",
+        "timeout",    "compaction",    "blocking",
+        "header",     "send_ports",    "receive_ports",
+        "detailed_flits"};
+    return fields;
+}
+
+bool
+SweepSpec::fromJson(const std::string &text, SweepSpec &out,
+                    std::vector<std::string> &errors)
+{
+    out = SweepSpec();
+    obs::JsonValue doc;
+    std::string parse_error;
+    if (!obs::jsonParse(text, doc, parse_error)) {
+        errors.push_back("spec is not valid JSON: " + parse_error);
+        return false;
+    }
+    if (!doc.isObject()) {
+        errors.push_back("spec must be a JSON object, got " +
+                         std::string(doc.kindName()));
+        return false;
+    }
+
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "name") {
+            if (!value.isString()) {
+                errors.push_back(typeError("name", "a string", value));
+                continue;
+            }
+            out.name_ = value.string();
+        } else if (key == "mode") {
+            if (value.isString() && value.string() == "cartesian") {
+                out.mode_ = SweepMode::Cartesian;
+            } else if (value.isString() && value.string() == "zip") {
+                out.mode_ = SweepMode::Zip;
+            } else {
+                errors.push_back(
+                    "field 'mode' expects \"cartesian\" or \"zip\","
+                    " got " +
+                    value.serialize());
+            }
+        } else if (key == "seed") {
+            if (!value.asUint64(out.masterSeed_)) {
+                errors.push_back(typeError(
+                    "seed", "a non-negative integer", value));
+            }
+        } else if (key == "base") {
+            if (!value.isObject()) {
+                errors.push_back(
+                    typeError("base", "an object", value));
+                continue;
+            }
+            for (const auto &[field, fv] : value.members()) {
+                const std::string err = out.base_.set(field, fv);
+                if (!err.empty())
+                    errors.push_back("base: " + err);
+            }
+        } else if (key == "axes") {
+            if (!value.isArray()) {
+                errors.push_back(
+                    typeError("axes", "an array", value));
+                continue;
+            }
+            for (std::size_t i = 0; i < value.array().size(); ++i) {
+                const obs::JsonValue &av = value.array()[i];
+                const std::string where =
+                    "axes[" + std::to_string(i) + "]";
+                if (!av.isObject()) {
+                    errors.push_back(where + " must be an object"
+                                             " {\"field\", \"values\"}");
+                    continue;
+                }
+                Axis axis;
+                const obs::JsonValue *field = av.find("field");
+                const obs::JsonValue *values = av.find("values");
+                if (field == nullptr || !field->isString()) {
+                    errors.push_back(where +
+                                     " needs a string 'field'");
+                    continue;
+                }
+                axis.field = field->string();
+                if (values == nullptr || !values->isArray() ||
+                    values->array().empty()) {
+                    errors.push_back(
+                        where + " ('" + axis.field +
+                        "') needs a non-empty 'values' array");
+                    continue;
+                }
+                axis.values = values->array();
+                out.axes_.push_back(std::move(axis));
+            }
+        } else {
+            errors.push_back(
+                "unknown spec key '" + key +
+                "' (known keys: name, mode, seed, base, axes)");
+        }
+    }
+
+    // Semantic checks over the assembled spec.
+    std::set<std::string> seen;
+    for (const Axis &axis : out.axes_) {
+        if (!seen.insert(axis.field).second) {
+            errors.push_back("axis field '" + axis.field +
+                             "' appears more than once");
+        }
+        for (const obs::JsonValue &v : axis.values) {
+            PointConfig probe = out.base_;
+            const std::string err = probe.set(axis.field, v);
+            if (!err.empty())
+                errors.push_back("axis '" + axis.field +
+                                 "': " + err);
+        }
+    }
+    if (out.mode_ == SweepMode::Zip && !out.axes_.empty()) {
+        const std::size_t len = out.axes_.front().values.size();
+        for (const Axis &axis : out.axes_) {
+            if (axis.values.size() != len) {
+                errors.push_back(
+                    "zip mode needs equal-length axes, but '" +
+                    out.axes_.front().field + "' has " +
+                    std::to_string(len) + " values and '" +
+                    axis.field + "' has " +
+                    std::to_string(axis.values.size()));
+            }
+        }
+    }
+    return errors.empty();
+}
+
+bool
+SweepSpec::fromFile(const std::string &path, SweepSpec &out,
+                    std::vector<std::string> &errors)
+{
+    std::ifstream in(path);
+    if (!in) {
+        errors.push_back("cannot open spec file '" + path + "'");
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return fromJson(text.str(), out, errors);
+}
+
+std::size_t
+SweepSpec::pointCount() const
+{
+    if (axes_.empty())
+        return 1;
+    if (mode_ == SweepMode::Zip)
+        return axes_.front().values.size();
+    std::size_t n = 1;
+    for (const Axis &axis : axes_)
+        n *= axis.values.size();
+    return n;
+}
+
+std::vector<PointConfig>
+SweepSpec::points() const
+{
+    const std::size_t count = pointCount();
+    std::vector<PointConfig> points;
+    points.reserve(count);
+    const sim::Random root(masterSeed_);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        PointConfig pt = base_;
+        pt.index = i;
+        // Decompose i into one index per axis: cartesian treats the
+        // last axis as the fastest-varying digit, zip uses i for all.
+        std::size_t rest = i;
+        std::vector<std::size_t> choice(axes_.size(), i);
+        if (mode_ == SweepMode::Cartesian) {
+            for (std::size_t a = axes_.size(); a-- > 0;) {
+                choice[a] = rest % axes_[a].values.size();
+                rest /= axes_[a].values.size();
+            }
+        }
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const obs::JsonValue &v = axes_[a].values[choice[a]];
+            const std::string err = pt.set(axes_[a].field, v);
+            // fromJson probed every axis value against the base, so
+            // this cannot fail for a validated spec.
+            if (!err.empty())
+                continue;
+            pt.params.emplace_back(axes_[a].field, v.serialize());
+            if (!pt.label.empty())
+                pt.label += ',';
+            pt.label += axes_[a].field + '=' +
+                        (v.isString() ? v.string() : v.serialize());
+        }
+        // One SplitMix64-derived seed per grid index, a pure
+        // function of (masterSeed, index) - independent of job
+        // count, completion order and which subset of points runs.
+        pt.seed = root.split(i).next();
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+std::string
+SweepSpec::canonicalJson() const
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.field("name", name_);
+    json.field("mode", mode_ == SweepMode::Zip
+                           ? std::string("zip")
+                           : std::string("cartesian"));
+    json.field("seed", masterSeed_);
+    json.beginObject("base");
+    json.field("network", base_.network);
+    json.field("nodes", std::uint64_t{base_.nodes});
+    json.field("buses", std::uint64_t{base_.buses});
+    json.field("width", std::uint64_t{base_.width});
+    json.field("height", std::uint64_t{base_.height});
+    json.field("workload", base_.workload);
+    json.field("rate", base_.rate);
+    json.field("payload", std::uint64_t{base_.payload});
+    json.field("duration", std::uint64_t{base_.duration});
+    json.field("timeout", std::uint64_t{base_.timeout});
+    json.field("compaction", base_.compaction);
+    json.field("blocking", base_.blocking);
+    json.field("header", base_.header);
+    json.field("send_ports", std::uint64_t{base_.sendPorts});
+    json.field("receive_ports", std::uint64_t{base_.receivePorts});
+    json.field("detailed_flits", base_.detailedFlits);
+    json.endObject();
+    json.beginArray("axes");
+    for (const Axis &axis : axes_) {
+        json.beginObject();
+        json.field("field", axis.field);
+        json.beginArray("values");
+        for (const obs::JsonValue &v : axis.values)
+            json.elementRaw(v.serialize());
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace exp
+} // namespace rmb

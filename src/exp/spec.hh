@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Declarative sweep specifications.
+ *
+ * A SweepSpec describes a grid of independent simulator
+ * configurations - the shape behind every figure of the paper
+ * (saturation curves, k-sweeps, ablations): a base point, a list of
+ * axes over its fields, and a combination mode (cartesian product or
+ * zipped tuples).  Specs load from JSON (see docs/SWEEPS.md for the
+ * schema) and validate with one actionable message per problem, in
+ * the style of RmbConfig::validate().
+ *
+ * Each materialised PointConfig carries its own seed, derived from
+ * the spec's master seed with sim::Random::split(index), so any
+ * subset of points can be re-run in any order - or on any number of
+ * worker threads - without changing a single result.
+ */
+
+#ifndef RMB_EXP_SPEC_HH
+#define RMB_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace exp {
+
+/**
+ * One grid point: a complete, self-contained simulation recipe.
+ * Defaults mirror rmbsim's.
+ */
+struct PointConfig
+{
+    /** Position in the materialised grid (stable output order). */
+    std::size_t index = 0;
+
+    /** Human-readable "field=value" summary of the axis choices. */
+    std::string label;
+
+    /** Per-point seed split from the spec's master seed. */
+    std::uint64_t seed = 1;
+
+    std::string network = "rmb";
+    std::uint32_t nodes = 16;
+    std::uint32_t buses = 4;
+    std::uint32_t width = 4;  //!< torus / mesh only
+    std::uint32_t height = 4; //!< torus / mesh only
+
+    std::string workload = "randperm";
+    double rate = 0.001;          //!< stochastic workloads
+    std::uint32_t payload = 32;   //!< data flits per message
+    sim::Tick duration = 50'000;  //!< stochastic generation window
+
+    bool compaction = true;
+    std::string blocking = "nack"; //!< nack | wait | wait:<t>
+    std::string header = "lowest"; //!< lowest | straight
+    std::uint32_t sendPorts = 1;
+    std::uint32_t receivePorts = 1;
+    bool detailedFlits = false;
+
+    /**
+     * Simulated-tick budget: batch workloads abort (point marked
+     * incomplete, sweep continues) after this many ticks; stochastic
+     * workloads use it as the post-generation drain bound.  This is
+     * what keeps one diverging configuration from hanging a sweep.
+     */
+    sim::Tick timeout = 10'000'000;
+
+    /** Axis assignments applied to this point, in axis order, as
+     *  (field, serialised JSON value) - for report "params". */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /**
+     * Assign @p value to the field named @p field.
+     * @return empty string on success, else one actionable error
+     * ("unknown field", "expects a number", ...).
+     */
+    std::string set(const std::string &field,
+                    const obs::JsonValue &value);
+
+    /** All settable field names, for error messages and docs. */
+    static const std::vector<std::string> &knownFields();
+};
+
+/** One swept dimension: a field name and its candidate values. */
+struct Axis
+{
+    std::string field;
+    std::vector<obs::JsonValue> values;
+};
+
+/** How axes combine into grid points. */
+enum class SweepMode
+{
+    Cartesian, //!< every combination; last axis varies fastest
+    Zip,       //!< i-th values of all axes together (equal lengths)
+};
+
+/** A declarative sweep: base point + axes + combination mode. */
+class SweepSpec
+{
+  public:
+    /**
+     * Parse @p text.  @return true and fill @p out on success; on
+     * failure @p errors gets one actionable message per problem
+     * (syntax, unknown fields, zip length mismatch, ...).
+     */
+    static bool fromJson(const std::string &text, SweepSpec &out,
+                         std::vector<std::string> &errors);
+
+    /** fromJson() over the contents of @p path. */
+    static bool fromFile(const std::string &path, SweepSpec &out,
+                         std::vector<std::string> &errors);
+
+    const std::string &name() const { return name_; }
+    SweepMode mode() const { return mode_; }
+    std::uint64_t masterSeed() const { return masterSeed_; }
+    const PointConfig &base() const { return base_; }
+    const std::vector<Axis> &axes() const { return axes_; }
+
+    /** Override the master seed (CLI --seed). */
+    void setMasterSeed(std::uint64_t seed) { masterSeed_ = seed; }
+
+    /** Number of points the spec materialises to. */
+    std::size_t pointCount() const;
+
+    /**
+     * Materialise the grid: apply each axis combination to a copy of
+     * the base point, label it, and split its seed from the master
+     * seed.  Points come back in stable grid order.
+     */
+    std::vector<PointConfig> points() const;
+
+    /** Compact canonical serialisation (embedded in reports so a
+     *  sweep artifact is self-describing). */
+    std::string canonicalJson() const;
+
+  private:
+    std::string name_ = "sweep";
+    SweepMode mode_ = SweepMode::Cartesian;
+    std::uint64_t masterSeed_ = 1;
+    PointConfig base_;
+    std::vector<Axis> axes_;
+};
+
+} // namespace exp
+} // namespace rmb
+
+#endif // RMB_EXP_SPEC_HH

@@ -248,5 +248,17 @@ jsonValid(const std::string &text)
     return Validator(text).run();
 }
 
+std::string
+jsonArray(const std::vector<std::string> &elements)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (i)
+            out += ',';
+        out += elements[i];
+    }
+    return out + ']';
+}
+
 } // namespace obs
 } // namespace rmb

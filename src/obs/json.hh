@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace rmb {
 namespace obs {
@@ -27,6 +28,9 @@ std::string jsonEscape(const std::string &raw);
 
 /** True iff @p text is one syntactically valid JSON value. */
 bool jsonValid(const std::string &text);
+
+/** Join pre-serialised JSON values into one array document. */
+std::string jsonArray(const std::vector<std::string> &elements);
 
 /**
  * Streaming JSON writer.  The caller is responsible for balanced

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parsed JSON values.
+ *
+ * JsonValue is the read-side counterpart of JsonWriter: a small
+ * immutable tree the sweep engine parses specs and baselines into.
+ * Object members keep their source order (like RunReport fields), so
+ * re-serialising a document is deterministic.  Numbers keep their raw
+ * source token alongside the double so 64-bit integers (seeds) round
+ * trip exactly.
+ */
+
+#ifndef RMB_OBS_JSON_VALUE_HH
+#define RMB_OBS_JSON_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rmb {
+namespace obs {
+
+/** One parsed JSON value (null / bool / number / string / array /
+ *  object). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Kind as a lower-case word for error messages. */
+    const char *kindName() const;
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+
+    /** The raw source token of a number (exact integer text). */
+    const std::string &numberToken() const { return string_; }
+
+    /**
+     * The number as a uint64, if the source token is a non-negative
+     * integer that fits; @return false otherwise.
+     */
+    bool asUint64(std::uint64_t &out) const;
+
+    const std::string &string() const { return string_; }
+
+    const std::vector<JsonValue> &array() const { return array_; }
+
+    /** Object members in source order. */
+    const Members &members() const { return members_; }
+
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Compact canonical serialisation (no whitespace). */
+    std::string serialize() const;
+
+    // Construction helpers (parser and tests).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v, std::string token);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue makeObject(Members v);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    /** String payload, or the raw token of a number. */
+    std::string string_;
+    std::vector<JsonValue> array_;
+    Members members_;
+};
+
+/**
+ * Parse @p text (one complete JSON document) into @p out.
+ * @return true on success; on failure @p error gets one actionable
+ * message with the byte offset of the problem.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string &error);
+
+} // namespace obs
+} // namespace rmb
+
+#endif // RMB_OBS_JSON_VALUE_HH

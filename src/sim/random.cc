@@ -102,5 +102,21 @@ Random::fork()
     return Random(next());
 }
 
+Random
+Random::split(std::uint64_t streamId) const
+{
+    // Fold the full parent state into one word (rotations keep the
+    // four lanes from cancelling), offset by the stream id scaled
+    // with the golden-ratio constant, then scramble twice with
+    // SplitMix64.  The child constructor expands the result again,
+    // so even adjacent ids land in unrelated xoshiro states.
+    std::uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^
+                       rotl(s_[3], 47);
+    sm += (streamId + 1) * 0x9e3779b97f4a7c15ull;
+    const std::uint64_t a = splitMix64(sm);
+    const std::uint64_t b = splitMix64(sm);
+    return Random(a ^ rotl(b, 32));
+}
+
 } // namespace sim
 } // namespace rmb

@@ -65,6 +65,24 @@ class Random
     /** Derive an independent child generator (for per-INC clocks). */
     Random fork();
 
+    /**
+     * Derive the @p streamId-th child generator without advancing
+     * this one.  The child seed is produced by running the parent
+     * state and the stream id through SplitMix64, so children for
+     * distinct ids are decorrelated even when the ids are small
+     * consecutive integers - use this instead of ad-hoc `seed + i`
+     * offsets, which hand correlated state expansions to xoshiro.
+     *
+     * split() is a pure function of (parent state, streamId):
+     * calling it repeatedly with the same id yields the same child,
+     * and reordering split() calls cannot change any child stream.
+     * That is the property the experiment engine relies on to make
+     * sweep results independent of worker scheduling; fork() by
+     * contrast consumes parent state and therefore depends on call
+     * order.
+     */
+    Random split(std::uint64_t streamId) const;
+
   private:
     std::array<std::uint64_t, 4> s_;
 };

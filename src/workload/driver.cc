@@ -90,8 +90,10 @@ runOpenLoop(net::Network &network, TrafficPattern &pattern,
     const std::uint64_t nacks_before = network.stats().nacks;
 
     // One self-rescheduling generator per node.  Each generator owns
-    // a forked RNG stream so results do not depend on event ordering
-    // between nodes.
+    // the substream split(node) of the caller's RNG, so a node's
+    // whole injection sequence (first gap included) is a pure
+    // function of (caller seed, node id) - independent of event
+    // ordering between nodes and of how many nodes exist.
     struct Generator
     {
         net::Network &network;
@@ -133,9 +135,9 @@ runOpenLoop(net::Network &network, TrafficPattern &pattern,
     for (net::NodeId i = 0; i < network.numNodes(); ++i) {
         auto g = std::make_unique<Generator>(Generator{
             network, pattern, measured, i, rate, payload_flits,
-            gen_end, measure_from, rng.fork()});
+            gen_end, measure_from, rng.split(i)});
         auto *raw = g.get();
-        simulator.schedule(rng.geometric(rate) + 1,
+        simulator.schedule(raw->rng.geometric(rate) + 1,
                            [raw] { raw->fire(); });
         generators.push_back(std::move(g));
     }

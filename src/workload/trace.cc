@@ -19,8 +19,11 @@ generateTrace(TrafficPattern &pattern, double rate,
     rmb_assert(rate > 0.0 && rate <= 1.0,
                "trace rate must be in (0, 1]");
     Trace trace;
+    // split(node) rather than fork(): each node's event stream is a
+    // pure function of (caller seed, node id), so traces for a
+    // shared prefix of nodes agree across different network sizes.
     for (net::NodeId node = 0; node < pattern.numNodes(); ++node) {
-        sim::Random node_rng = rng.fork();
+        sim::Random node_rng = rng.split(node);
         sim::Tick t = node_rng.geometric(rate) + 1;
         while (t < duration) {
             trace.push_back(TraceEvent{

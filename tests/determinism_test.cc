@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Determinism regression tests: the same configuration and seed must
+ * yield bit-identical results on every run, and the split()-based
+ * substream scheme must isolate per-node / per-point streams from
+ * each other.  These pin the contract the experiment engine's
+ * byte-identical-reports guarantee is built on.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rmb/network.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "workload/driver.hh"
+#include "workload/permutation.hh"
+#include "workload/trace.hh"
+#include "workload/traffic.hh"
+
+namespace {
+
+using namespace rmb;
+
+workload::BatchResult
+batchRun(std::uint64_t seed)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 16;
+    cfg.numBuses = 4;
+    cfg.seed = seed;
+    cfg.verify = core::VerifyLevel::Cheap;
+    core::RmbNetwork net(s, cfg);
+    sim::Random rng = sim::Random(seed).split(0);
+    const auto pairs =
+        workload::toPairs(workload::randomFullTraffic(16, rng));
+    return workload::runBatch(net, pairs, 24, 4'000'000);
+}
+
+TEST(Determinism, BatchRunRepeatsExactly)
+{
+    const auto a = batchRun(11);
+    const auto b = batchRun(11);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.meanSetupLatency, b.meanSetupLatency);
+}
+
+TEST(Determinism, SeedActuallyMatters)
+{
+    const auto a = batchRun(11);
+    const auto b = batchRun(12);
+    // Different seeds give a different permutation; the odds of an
+    // identical makespan AND latency are negligible.
+    EXPECT_FALSE(a.makespan == b.makespan &&
+                 a.meanLatency == b.meanLatency);
+}
+
+workload::OpenLoopResult
+openLoopRun(std::uint64_t seed)
+{
+    sim::Simulator s;
+    core::RmbConfig cfg;
+    cfg.numNodes = 16;
+    cfg.numBuses = 4;
+    cfg.seed = seed;
+    cfg.verify = core::VerifyLevel::Off;
+    core::RmbNetwork net(s, cfg);
+    workload::UniformTraffic pattern(16);
+    sim::Random rng(seed);
+    return workload::runOpenLoop(net, pattern, 0.002, 8, 20'000,
+                                 rng, 2'000);
+}
+
+TEST(Determinism, OpenLoopRepeatsExactly)
+{
+    const auto a = openLoopRun(5);
+    const auto b = openLoopRun(5);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+}
+
+TEST(Determinism, TraceNodeStreamsAreSizeIndependent)
+{
+    // generateTrace splits one substream per node, so the events of
+    // nodes 0..7 are identical whether the network has 8 nodes or
+    // 16 - a property fork()-chained streams cannot have.
+    sim::Random rng_small(77);
+    sim::Random rng_big(77);
+    workload::UniformTraffic small(8);
+    workload::UniformTraffic big(16);
+    auto t_small =
+        workload::generateTrace(small, 0.01, 4, 5'000, rng_small);
+    auto t_big =
+        workload::generateTrace(big, 0.01, 4, 5'000, rng_big);
+
+    auto only_low_src = [](workload::Trace t) {
+        workload::Trace out;
+        for (const auto &e : t)
+            if (e.src < 8)
+                out.push_back(e);
+        return out;
+    };
+    const auto low_small = only_low_src(t_small);
+    const auto low_big = only_low_src(t_big);
+    ASSERT_EQ(low_small.size(), low_big.size());
+    for (std::size_t i = 0; i < low_small.size(); ++i) {
+        EXPECT_EQ(low_small[i].time, low_big[i].time);
+        EXPECT_EQ(low_small[i].src, low_big[i].src);
+        // Destinations differ (picked from different node ranges);
+        // timing and source streams must not.
+    }
+}
+
+TEST(Determinism, TraceRoundTripsThroughText)
+{
+    sim::Random rng(3);
+    workload::UniformTraffic pattern(8);
+    const auto trace =
+        workload::generateTrace(pattern, 0.02, 4, 2'000, rng);
+    ASSERT_FALSE(trace.empty());
+    std::stringstream ss;
+    workload::writeTrace(ss, trace);
+    const auto back = workload::readTrace(ss);
+    EXPECT_EQ(trace, back);
+}
+
+} // namespace

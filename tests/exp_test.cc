@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Unit tests for the experiment engine (src/exp): spec parsing and
+ * materialisation, the thread-pool runner, deterministic sweep
+ * execution, report aggregation, and the baseline regression gate.
+ */
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/eval.hh"
+#include "exp/gate.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "obs/json.hh"
+#include "obs/json_value.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace rmb;
+
+std::string
+joined(const std::vector<std::string> &errors)
+{
+    std::string all;
+    for (const auto &e : errors)
+        all += e + "\n";
+    return all;
+}
+
+// ---------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------
+
+TEST(JsonValue, ParsesAndSerialisesCanonically)
+{
+    obs::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(obs::jsonParse(
+        R"({ "a" : [ 1, 2.5, true, null ], "b" : { "c" : "x\ny" } })",
+        v, error))
+        << error;
+    ASSERT_TRUE(v.isObject());
+    const auto *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    EXPECT_EQ(a->array().size(), 4u);
+    EXPECT_EQ(a->array()[0].numberToken(), "1");
+    EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+    // Canonical form: no whitespace, member order preserved.
+    EXPECT_EQ(v.serialize(),
+              R"({"a":[1,2.5,true,null],"b":{"c":"x\ny"}})");
+}
+
+TEST(JsonValue, Uint64RoundTripsExactly)
+{
+    obs::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(
+        obs::jsonParse("{\"seed\": 18446744073709551615}", v, error));
+    std::uint64_t seed = 0;
+    ASSERT_TRUE(v.find("seed")->asUint64(seed));
+    EXPECT_EQ(seed, 18446744073709551615ull);
+    EXPECT_EQ(v.serialize(), "{\"seed\":18446744073709551615}");
+}
+
+TEST(JsonValue, SyntaxErrorsNameTheOffset)
+{
+    obs::JsonValue v;
+    std::string error;
+    EXPECT_FALSE(obs::jsonParse("{\"a\": [1, }", v, error));
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+    EXPECT_FALSE(obs::jsonParse("", v, error));
+    EXPECT_FALSE(obs::jsonParse("{} trailing", v, error));
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------
+// Random::split
+// ---------------------------------------------------------------
+
+TEST(RandomSplit, PureAndOrderIndependent)
+{
+    const sim::Random root(1234);
+    // split() is const: calling it many times, in any order, yields
+    // the same child for the same id.
+    const std::uint64_t a_first = root.split(7).next();
+    for (std::uint64_t id : {3ull, 0ull, 7ull, 7ull, 100ull})
+        (void)root.split(id);
+    EXPECT_EQ(root.split(7).next(), a_first);
+
+    // Distinct ids give distinct streams (no collisions in a small
+    // range, and not the trivial seed+i relationship).
+    std::set<std::uint64_t> firsts;
+    for (std::uint64_t id = 0; id < 256; ++id)
+        firsts.insert(root.split(id).next());
+    EXPECT_EQ(firsts.size(), 256u);
+}
+
+TEST(RandomSplit, NestedSplitsAreIndependent)
+{
+    const sim::Random root(99);
+    EXPECT_NE(root.split(0).split(1).next(),
+              root.split(1).split(0).next());
+    EXPECT_EQ(root.split(4).split(2).next(),
+              root.split(4).split(2).next());
+}
+
+// ---------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------
+
+const char *kSmallSpec = R"({
+  "name": "small",
+  "seed": 42,
+  "base": { "nodes": 8, "buses": 2, "payload": 4,
+            "workload": "randperm", "timeout": 2000000 },
+  "axes": [
+    { "field": "nodes", "values": [8, 16] },
+    { "field": "buses", "values": [2, 4] }
+  ]
+})";
+
+TEST(SweepSpec, CartesianMaterialisation)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(kSmallSpec, spec, errors))
+        << joined(errors);
+    EXPECT_EQ(spec.name(), "small");
+    EXPECT_EQ(spec.masterSeed(), 42u);
+    ASSERT_EQ(spec.pointCount(), 4u);
+
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 4u);
+    // Last axis varies fastest.
+    EXPECT_EQ(points[0].nodes, 8u);
+    EXPECT_EQ(points[0].buses, 2u);
+    EXPECT_EQ(points[1].nodes, 8u);
+    EXPECT_EQ(points[1].buses, 4u);
+    EXPECT_EQ(points[2].nodes, 16u);
+    EXPECT_EQ(points[2].buses, 2u);
+    EXPECT_EQ(points[3].nodes, 16u);
+    EXPECT_EQ(points[3].buses, 4u);
+    // Base fields carry through; labels describe the axis choices.
+    EXPECT_EQ(points[3].payload, 4u);
+    EXPECT_NE(points[3].label.find("nodes=16"), std::string::npos);
+    EXPECT_NE(points[3].label.find("buses=4"), std::string::npos);
+
+    // Seeds are split per index: all distinct, and stable across
+    // re-materialisation.
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : points)
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), points.size());
+    const auto again = spec.points();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].seed, again[i].seed);
+}
+
+TEST(SweepSpec, ZipMode)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(R"({
+      "mode": "zip",
+      "axes": [
+        { "field": "nodes", "values": [8, 16, 32] },
+        { "field": "buses", "values": [2, 4, 8] }
+      ]
+    })",
+                                         spec, errors))
+        << joined(errors);
+    ASSERT_EQ(spec.pointCount(), 3u);
+    const auto points = spec.points();
+    EXPECT_EQ(points[1].nodes, 16u);
+    EXPECT_EQ(points[1].buses, 4u);
+}
+
+TEST(SweepSpec, ZipLengthMismatchIsActionable)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(exp::SweepSpec::fromJson(R"({
+      "mode": "zip",
+      "axes": [
+        { "field": "nodes", "values": [8, 16] },
+        { "field": "buses", "values": [2] }
+      ]
+    })",
+                                          spec, errors));
+    EXPECT_NE(joined(errors).find("zip"), std::string::npos)
+        << joined(errors);
+}
+
+TEST(SweepSpec, UnknownFieldListsKnownOnes)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(exp::SweepSpec::fromJson(
+        R"({ "base": { "bogus_field": 3 } })", spec, errors));
+    const std::string all = joined(errors);
+    EXPECT_NE(all.find("bogus_field"), std::string::npos) << all;
+}
+
+TEST(SweepSpec, WrongValueTypeIsActionable)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(exp::SweepSpec::fromJson(
+        R"({ "axes": [ { "field": "nodes",
+                         "values": ["not-a-number"] } ] })",
+        spec, errors));
+    EXPECT_NE(joined(errors).find("nodes"), std::string::npos)
+        << joined(errors);
+}
+
+TEST(SweepSpec, DuplicateAxisFieldRejected)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(exp::SweepSpec::fromJson(R"({
+      "axes": [
+        { "field": "nodes", "values": [8] },
+        { "field": "nodes", "values": [16] }
+      ]
+    })",
+                                          spec, errors));
+    EXPECT_NE(joined(errors).find("nodes"), std::string::npos);
+}
+
+TEST(SweepSpec, SyntaxErrorSurfacesParserMessage)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    EXPECT_FALSE(exp::SweepSpec::fromJson("{ not json", spec, errors));
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("at byte"), std::string::npos)
+        << errors[0];
+}
+
+// ---------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------
+
+TEST(Runner, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 5u}) {
+        const exp::Runner runner(jobs);
+        std::vector<std::atomic<int>> hits(100);
+        runner.forEach(hits.size(),
+                       [&](std::size_t i) { hits[i]++; });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(Runner, PropagatesTheFirstException)
+{
+    const exp::Runner runner(2);
+    EXPECT_THROW(runner.forEach(8,
+                                [](std::size_t i) {
+                                    if (i == 3)
+                                        throw std::runtime_error(
+                                            "boom");
+                                }),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// Sweep execution + aggregation
+// ---------------------------------------------------------------
+
+TEST(Sweep, ReportIsByteIdenticalAcrossJobCounts)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(kSmallSpec, spec, errors))
+        << joined(errors);
+
+    const auto one = exp::runSweep(spec, 1);
+    const auto four = exp::runSweep(spec, 4);
+    EXPECT_EQ(one.failures, 0u);
+    const std::string report_one =
+        exp::aggregate(spec, one).toJson();
+    const std::string report_four =
+        exp::aggregate(spec, four).toJson();
+    EXPECT_EQ(report_one, report_four);
+
+    // And the artifact is valid JSON.
+    EXPECT_TRUE(obs::jsonValid(report_one));
+}
+
+TEST(Sweep, ProgressObserverSeesEveryPoint)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(kSmallSpec, spec, errors));
+    std::vector<std::size_t> seen;
+    std::size_t last_completed = 0;
+    exp::runSweep(spec, 2, [&](const exp::Progress &p) {
+        // The observer runs serially: completed is monotone.
+        EXPECT_EQ(p.completed, last_completed + 1);
+        last_completed = p.completed;
+        EXPECT_EQ(p.total, 4u);
+        seen.push_back(p.index);
+    });
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Sweep, BadPointIsCapturedNotFatal)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(R"({
+      "base": { "nodes": 8, "payload": 4, "workload": "randperm" },
+      "axes": [ { "field": "buses", "values": [2, 0] } ]
+    })",
+                                         spec, errors))
+        << joined(errors);
+    const auto outcome = exp::runSweep(spec, 2);
+    ASSERT_EQ(outcome.results.size(), 2u);
+    EXPECT_TRUE(outcome.results[0].ok);
+    EXPECT_FALSE(outcome.results[1].ok);
+    EXPECT_EQ(outcome.failures, 1u);
+    EXPECT_NE(outcome.results[1].error.find("bus"),
+              std::string::npos)
+        << outcome.results[1].error;
+}
+
+TEST(Sweep, RunPointIsDeterministic)
+{
+    exp::SweepSpec spec;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(exp::SweepSpec::fromJson(kSmallSpec, spec, errors));
+    const auto points = spec.points();
+    for (const auto &p : points) {
+        const auto r1 = exp::runPoint(p);
+        const auto r2 = exp::runPoint(p);
+        ASSERT_TRUE(r1.ok) << r1.error;
+        EXPECT_EQ(r1.metrics, r2.metrics);
+    }
+}
+
+// ---------------------------------------------------------------
+// Baseline gate
+// ---------------------------------------------------------------
+
+TEST(Gate, IdenticalReportsPass)
+{
+    const std::string doc =
+        R"({"a": 1.5, "b": {"c": 2, "s": "hi"}, "arr": [1, 2]})";
+    const auto outcome = exp::compareReportTexts(doc, doc);
+    EXPECT_TRUE(outcome.pass) << joined(outcome.problems);
+    EXPECT_EQ(outcome.compared, 5u);
+}
+
+TEST(Gate, NumericDriftFailsWithPath)
+{
+    const auto outcome = exp::compareReportTexts(
+        R"({"b": {"c": 2}})", R"({"b": {"c": 3}})");
+    EXPECT_FALSE(outcome.pass);
+    ASSERT_EQ(outcome.problems.size(), 1u);
+    EXPECT_NE(outcome.problems[0].find("b.c"), std::string::npos)
+        << outcome.problems[0];
+}
+
+TEST(Gate, ToleranceFromBaselineAllowsDrift)
+{
+    // |2 - 3| <= rtol * |baseline| with rtol = 0.6 -> within budget.
+    const auto outcome = exp::compareReportTexts(
+        R"({"b": {"c": 2}})",
+        R"({"b": {"c": 3}, "tolerances": {"c": 0.6}})");
+    EXPECT_TRUE(outcome.pass) << joined(outcome.problems);
+}
+
+TEST(Gate, ExactPathBeatsBareLeafName)
+{
+    // The bare name would allow the drift; the exact path (more
+    // specific) forbids it.
+    const auto outcome = exp::compareReportTexts(
+        R"({"b": {"c": 2}})",
+        R"({"b": {"c": 3},
+            "tolerances": {"c": 0.6, "b.c": 0.0}})");
+    EXPECT_FALSE(outcome.pass);
+}
+
+TEST(Gate, StarAndCliDefaultsApply)
+{
+    EXPECT_TRUE(exp::compareReportTexts(
+                    R"({"x": 10})",
+                    R"({"x": 11, "tolerances": {"*": 0.2}})")
+                    .pass);
+    exp::GateOptions opt;
+    opt.rtol = 0.2;
+    EXPECT_TRUE(
+        exp::compareReportTexts(R"({"x": 10})", R"({"x": 11})", opt)
+            .pass);
+    EXPECT_FALSE(
+        exp::compareReportTexts(R"({"x": 10})", R"({"x": 11})")
+            .pass);
+}
+
+TEST(Gate, MissingLeafAndTypeMismatchFail)
+{
+    EXPECT_FALSE(
+        exp::compareReportTexts(R"({})", R"({"gone": 1})").pass);
+    EXPECT_FALSE(exp::compareReportTexts(R"({"x": "1"})",
+                                         R"({"x": 1})")
+                     .pass);
+    // Fresh-only leaves are fine: adding metrics never breaks a
+    // stored baseline.
+    EXPECT_TRUE(exp::compareReportTexts(R"({"x": 1, "new": 2})",
+                                        R"({"x": 1})")
+                    .pass);
+}
+
+TEST(Gate, BrokenDocumentsAreReportedNotThrown)
+{
+    const auto outcome =
+        exp::compareReportTexts("{ nope", R"({"x": 1})");
+    EXPECT_FALSE(outcome.pass);
+    ASSERT_FALSE(outcome.problems.empty());
+    EXPECT_NE(outcome.problems[0].find("fresh"), std::string::npos)
+        << outcome.problems[0];
+}
+
+} // namespace

@@ -82,10 +82,15 @@ struct Options
     bool heatmap = false;
 };
 
+/**
+ * Prints the option summary and exits: to stdout with code 0 when
+ * the user asked for it (--help), to stderr with code 2 on a
+ * command-line mistake.
+ */
 [[noreturn]] void
-usage()
+usage(int code = 2)
 {
-    std::cerr
+    (code == 0 ? std::cout : std::cerr)
         << "usage: rmbsim [options]\n"
            "  --network   rmb|dualring|torus|grid|ring|mesh|"
            "hypercube|ehc|fattree|multibus|wormhole\n"
@@ -102,8 +107,9 @@ usage()
            "  --no-compaction\n"
            "  --record FILE | --replay FILE\n"
            "  --csv | --json [FILE] | --heatmap\n"
-           "  --trace FILE               (JSONL protocol events)\n";
-    std::exit(2);
+           "  --trace FILE               (JSONL protocol events)\n"
+           "  --help | -h\n";
+    std::exit(code);
 }
 
 Options
@@ -176,7 +182,7 @@ parse(int argc, char **argv)
         } else if (arg == "--heatmap") {
             o.heatmap = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage();
+            usage(0);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage();
