@@ -1,161 +1,178 @@
 /**
  * @file
- * Experiment E18 (robustness, this reproduction): performance under
- * permanent bus-segment failures, as a function of *where* the
- * faults sit and of the header's level policy.
+ * Experiment E18 (robustness, this reproduction): availability under
+ * a live transient-fault process - the MTBF/MTTR fail/repair engine
+ * from src/rmb/fault.cc severing established circuits while an open
+ * loop keeps offering traffic.
  *
- * Key finding: fault tolerance is a property of the header policy.
- * PreferStraight (the paper's literal top-bus propagation) is
- * naturally fault tolerant - the top level cannot be faulted, so a
- * header can always ride it - and degrades gracefully.  Eager
- * lowest-free descent is fault-*oblivious*: a gap whose low levels
- * are dead is a deterministic trap (the header arrives at level 0
- * and can only reach the dead {0, 1}), so scattered faults cause
- * permanent failures (pinned by Fault.EagerDescentTrapsOnLowLevel-
- * Faults in the test suite).
+ * The sweep crosses fault pressure (mean ticks between faults) with
+ * bus count k and offered load, and reports availability (delivered
+ * fraction), the recovery split (recovered vs lost after a sever)
+ * and the watchdog's contribution.  The grid runs through the
+ * experiment engine (exp::Runner): every point is an isolated
+ * simulation with its own RNG substream split from the bench seed,
+ * so `--jobs N` changes only wall-clock time, never a number in the
+ * tables - and the JSON report doubles as a regression baseline for
+ * `sweep compare` (tests/data/bench_faults_baseline.json).
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/runner.hh"
+#include "obs/json.hh"
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
 #include "workload/driver.hh"
-#include "workload/permutation.hh"
-
-namespace {
-
-using namespace rmb;
-
-enum class Placement { BottomAligned, Scattered };
-
-struct Outcome
-{
-    double makespan = 0.0;
-    int completed = 0;
-    int trials = 0;
-};
-
-Outcome
-run(const sim::Random &root, std::uint32_t faults,
-    Placement placement, core::HeaderPolicy policy, int trials)
-{
-    const std::uint32_t n = 32;
-    const std::uint32_t k = 4;
-    Outcome out;
-    out.trials = trials;
-    for (int trial = 0; trial < trials; ++trial) {
-        // One substream per (fault count, trial); the placement and
-        // policy columns reuse it so each row compares identical
-        // traffic on identically-seeded networks.
-        const sim::Random trial_root =
-            root.split(faults).split(
-                static_cast<std::uint64_t>(trial));
-        sim::Simulator s;
-        core::RmbConfig cfg;
-        cfg.numNodes = n;
-        cfg.numBuses = k;
-        cfg.seed = trial_root.split(0).next();
-        cfg.headerPolicy = policy;
-        cfg.maxRetries = 200; // bound the trap cases
-        cfg.verify = core::VerifyLevel::Off;
-        core::RmbNetwork net(s, cfg);
-
-        if (placement == Placement::BottomAligned) {
-            // floor(faults / n) full bottom levels plus remainder.
-            std::uint32_t left = faults;
-            for (core::Level l = 0; left > 0 &&
-                                    l < static_cast<core::Level>(
-                                            k - 1);
-                 ++l) {
-                for (core::GapId g = 0; g < n && left > 0; ++g) {
-                    net.failSegment(g, l);
-                    --left;
-                }
-            }
-        } else {
-            sim::Random frng = trial_root.split(1);
-            std::vector<std::uint32_t> per_gap(n, 0);
-            std::uint32_t injected = 0;
-            while (injected < faults) {
-                const auto g = static_cast<core::GapId>(
-                    frng.uniformInt(n));
-                const auto l = static_cast<core::Level>(
-                    frng.uniformInt(k - 1));
-                if (per_gap[g] >= k - 2 ||
-                    net.segments().isFaulty(g, l)) {
-                    continue;
-                }
-                net.failSegment(g, l);
-                ++per_gap[g];
-                ++injected;
-            }
-        }
-
-        sim::Random rng = trial_root.split(2);
-        const auto pairs = workload::toPairs(
-            workload::randomFullTraffic(n, rng));
-        const auto r =
-            workload::runBatch(net, pairs, 32, 4'000'000);
-        if (r.completed)
-            ++out.completed;
-        out.makespan += static_cast<double>(r.makespan) / trials;
-    }
-    return out;
-}
-
-std::string
-cell(const Outcome &o)
-{
-    std::string s = TextTable::num(o.makespan, 0);
-    if (o.completed != o.trials) {
-        s += " (" + std::to_string(o.completed) + "/" +
-             std::to_string(o.trials) + ")";
-    }
-    return s;
-}
-
-} // namespace
+#include "workload/traffic.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace rmb;
 
-    bench::Harness h(argc, argv, "E18", "segment faults: placement x header"
-                         " policy (robustness)");
+    bench::Harness h(argc, argv,
+                     "E18", "availability under transient faults");
 
-    const int trials = h.fast() ? 2 : 5;
+    const std::uint32_t n = 24;
+    const std::uint32_t payload = 16;
+    const sim::Tick duration = h.fast() ? 30'000 : 120'000;
+
+    // Fault pressure: mean ticks between segment faults (0 = fault
+    // free); repairs take uniform [300, 1500] ticks.
+    const std::vector<sim::Tick> mtbfs =
+        h.fast() ? std::vector<sim::Tick>{0, 2'000}
+                 : std::vector<sim::Tick>{0, 4'000, 2'000, 800};
+    const std::vector<std::uint32_t> ks = {2, 4};
+    const std::vector<double> rates = {0.001, 0.004};
+
+    struct Point
+    {
+        sim::Tick mtbf;
+        std::uint32_t k;
+        double rate;
+    };
+    std::vector<Point> grid;
+    for (const sim::Tick mtbf : mtbfs)
+        for (const std::uint32_t k : ks)
+            for (const double rate : rates)
+                grid.push_back(Point{mtbf, k, rate});
+
+    struct Row
+    {
+        workload::OpenLoopResult r;
+        std::uint64_t injected = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t severed = 0;
+        std::uint64_t recovered = 0;
+        std::uint64_t lost = 0;
+        std::uint64_t watchdog = 0;
+    };
+    std::vector<Row> rows(grid.size());
+
     const sim::Random root(h.seed(18));
+    exp::Runner runner(h.jobs());
+    runner.forEach(grid.size(), [&](std::size_t i) {
+        const Point &pt = grid[i];
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = n;
+        cfg.numBuses = pt.k;
+        cfg.seed = root.split(2 * i).next();
+        cfg.verify = core::VerifyLevel::Off;
+        if (pt.mtbf > 0) {
+            cfg.transientFaults = true;
+            cfg.faultMtbf = pt.mtbf;
+            cfg.faultMttrMin = 300;
+            cfg.faultMttrMax = 1'500;
+        }
+        cfg.watchdogTimeout = 600;
+        cfg.maxRetries = 60; // bounded: losses become measurable
+        core::RmbNetwork net(s, cfg);
 
-    TextTable t("random permutation makespan, N = 32, k = 4;"
-                " '(c/t)' marks incomplete batches",
-                {"faulted", "%", "eager+aligned", "eager+scattered",
-                 "top-bus+aligned", "top-bus+scattered"});
-    for (const std::uint32_t faults : {0u, 8u, 16u, 32u, 48u}) {
-        t.addRow(
-            {TextTable::num(std::uint64_t{faults}),
-             TextTable::num(100.0 * faults / (32 * 4), 1),
-             cell(run(root, faults, Placement::BottomAligned,
-                      core::HeaderPolicy::PreferLowest, trials)),
-             cell(run(root, faults, Placement::Scattered,
-                      core::HeaderPolicy::PreferLowest, trials)),
-             cell(run(root, faults, Placement::BottomAligned,
-                      core::HeaderPolicy::PreferStraight, trials)),
-             cell(run(root, faults, Placement::Scattered,
-                      core::HeaderPolicy::PreferStraight,
-                      trials))});
+        workload::UniformTraffic pattern(n);
+        sim::Random rng = root.split(2 * i + 1);
+        Row &row = rows[i];
+        row.r = workload::runOpenLoop(net, pattern, pt.rate,
+                                      payload, duration, rng,
+                                      duration / 5);
+        row.injected = net.stats().injected.value();
+        row.delivered = net.stats().delivered.value();
+        row.failed = net.stats().failed.value();
+        const core::RmbStats &rs = net.rmbStats();
+        row.faults = rs.faultsInjected.value();
+        row.severed = rs.busesSevered.value();
+        row.recovered = rs.messagesRecovered.value();
+        row.lost = rs.messagesLost.value();
+        row.watchdog = rs.watchdogFires.value();
+    });
+
+    const auto availability = [](const Row &row) {
+        return row.injected == 0
+                   ? 1.0
+                   : static_cast<double>(row.delivered) /
+                         static_cast<double>(row.injected);
+    };
+
+    obs::JsonWriter summary;
+    summary.beginObject();
+    std::size_t i = 0;
+    for (const sim::Tick mtbf : mtbfs) {
+        TextTable t(
+            "uniform open loop, N = 24; fault MTBF = " +
+                (mtbf == 0 ? std::string("inf (fault free)")
+                           : TextTable::num(std::uint64_t{mtbf})) +
+                ", repair in [300, 1500]",
+            {"k", "rate", "avail%", "faults", "severed", "recovered",
+             "lost", "watchdog", "mean lat"});
+        for (std::size_t p = 0; p < ks.size() * rates.size();
+             ++p, ++i) {
+            const Point &pt = grid[i];
+            const Row &row = rows[i];
+            t.addRow({TextTable::num(std::uint64_t{pt.k}),
+                      TextTable::num(pt.rate, 4),
+                      TextTable::num(100.0 * availability(row), 2),
+                      TextTable::num(row.faults),
+                      TextTable::num(row.severed),
+                      TextTable::num(row.recovered),
+                      TextTable::num(row.lost),
+                      TextTable::num(row.watchdog),
+                      TextTable::num(row.r.meanLatency, 0)});
+
+            const std::string key =
+                "mtbf=" + std::to_string(mtbf) +
+                ",k=" + std::to_string(pt.k) +
+                ",rate=" + TextTable::num(pt.rate, 4);
+            summary.beginObject(key);
+            summary.field("availability", availability(row));
+            summary.field("injected", row.injected);
+            summary.field("delivered", row.delivered);
+            summary.field("failed", row.failed);
+            summary.field("faults_injected", row.faults);
+            summary.field("buses_severed", row.severed);
+            summary.field("messages_recovered", row.recovered);
+            summary.field("messages_lost", row.lost);
+            summary.field("watchdog_fires", row.watchdog);
+            summary.endObject();
+        }
+        h.table(t);
     }
-    h.table(t);
+    summary.endObject();
+    h.report().setRaw("availability", summary.str());
 
-    std::cout << "\nShape checks: bottom-aligned faults act as a"
-                 " smaller k for either policy (compaction packs"
-                 " circuits above the dead floor).  Scattered"
-                 " faults trap eager-descent headers (failures in"
-                 " parentheses) but leave top-bus headers degrading"
-                 " smoothly - the paper's literal top-bus"
-                 " propagation turns out to be the fault-tolerant"
-                 " design point.\n";
+    std::cout << "\nShape checks: the fault-free table is each"
+                 " (k, rate)'s availability ceiling (bounded retries"
+                 " already shed a little at k = 2 under load); fault"
+                 " churn pulls availability below that ceiling, more"
+                 " so at lower MTBF and smaller k.  The RMB recovers"
+                 " most severed messages through Nack-path"
+                 " re-queueing (recovered >> lost), and the watchdog"
+                 " only fires when a sever races an in-flight"
+                 " acknowledgement.\n";
     return 0;
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build and run the full tier-1 test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the asan-ubsan CMake preset, no
+# sanitizer recovery - any finding fails the run).  The suite
+# includes the fault-churn soak and the transient-fault tests, so
+# the sever/teardown/watchdog paths get exercised under ASan too.
+# Usage: scripts/check_sanitizers.sh [extra ctest args...]
+set -e
+cd "$(dirname "$0")/.."
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

@@ -66,6 +66,14 @@ rmbConfig(const PointConfig &pt, std::uint64_t net_seed)
     cfg.sendPorts = pt.sendPorts;
     cfg.receivePorts = pt.receivePorts;
     cfg.detailedFlits = pt.detailedFlits;
+    if (pt.faultMtbf > 0) {
+        cfg.transientFaults = true;
+        cfg.faultMtbf = pt.faultMtbf;
+        cfg.faultMttrMin = pt.faultMttrMin;
+        cfg.faultMttrMax = pt.faultMttrMax;
+    }
+    cfg.watchdogTimeout = pt.watchdog;
+    cfg.maxRetries = pt.maxRetries;
     cfg.verify = core::VerifyLevel::Off;
     cfg.headerPolicy = pt.header == "straight"
                            ? core::HeaderPolicy::PreferStraight
@@ -235,6 +243,26 @@ appendNetworkMetrics(PointResult &r, const net::Network &network)
         r.metrics.emplace_back(
             "max_cycle_skew",
             num(rmb->rmbStats().maxCycleSkew.value()));
+        const core::RmbStats &rs = rmb->rmbStats();
+        if (rs.faultsInjected.value() > 0 ||
+            rs.watchdogFires.value() > 0) {
+            r.metrics.emplace_back("faults_injected",
+                                   num(rs.faultsInjected.value()));
+            r.metrics.emplace_back("faults_repaired",
+                                   num(rs.faultsRepaired.value()));
+            r.metrics.emplace_back("buses_severed",
+                                   num(rs.busesSevered.value()));
+            r.metrics.emplace_back(
+                "messages_recovered",
+                num(rs.messagesRecovered.value()));
+            r.metrics.emplace_back("messages_lost",
+                                   num(rs.messagesLost.value()));
+            r.metrics.emplace_back("watchdog_fires",
+                                   num(rs.watchdogFires.value()));
+            r.metrics.emplace_back(
+                "mean_recovery_latency",
+                num(rs.recoveryLatency.mean()));
+        }
     }
 }
 

@@ -161,6 +161,16 @@ PointConfig::set(const std::string &field, const obs::JsonValue &value)
         return u32(receivePorts);
     if (field == "detailed_flits")
         return boolean(detailedFlits);
+    if (field == "fault_mtbf")
+        return u64(faultMtbf);
+    if (field == "fault_mttr_min")
+        return u64(faultMttrMin);
+    if (field == "fault_mttr_max")
+        return u64(faultMttrMax);
+    if (field == "watchdog")
+        return u64(watchdog);
+    if (field == "max_retries")
+        return u32(maxRetries);
 
     std::string known;
     for (const auto &f : knownFields())
@@ -178,7 +188,9 @@ PointConfig::knownFields()
         "rate",       "payload",       "duration",
         "timeout",    "compaction",    "blocking",
         "header",     "send_ports",    "receive_ports",
-        "detailed_flits"};
+        "detailed_flits",
+        "fault_mtbf", "fault_mttr_min", "fault_mttr_max",
+        "watchdog",   "max_retries"};
     return fields;
 }
 
@@ -402,6 +414,11 @@ SweepSpec::canonicalJson() const
     json.field("send_ports", std::uint64_t{base_.sendPorts});
     json.field("receive_ports", std::uint64_t{base_.receivePorts});
     json.field("detailed_flits", base_.detailedFlits);
+    json.field("fault_mtbf", std::uint64_t{base_.faultMtbf});
+    json.field("fault_mttr_min", std::uint64_t{base_.faultMttrMin});
+    json.field("fault_mttr_max", std::uint64_t{base_.faultMttrMax});
+    json.field("watchdog", std::uint64_t{base_.watchdog});
+    json.field("max_retries", std::uint64_t{base_.maxRetries});
     json.endObject();
     json.beginArray("axes");
     for (const Axis &axis : axes_) {

@@ -62,6 +62,13 @@ struct PointConfig
     std::uint32_t receivePorts = 1;
     bool detailedFlits = false;
 
+    /** Transient-fault process (rmb-family networks): 0 = off. */
+    sim::Tick faultMtbf = 0;
+    sim::Tick faultMttrMin = 500;
+    sim::Tick faultMttrMax = 2'000;
+    sim::Tick watchdog = 0;       //!< source watchdog, 0 = off
+    std::uint32_t maxRetries = 0; //!< 0 = unlimited
+
     /**
      * Simulated-tick budget: batch workloads abort (point marked
      * incomplete, sweep continues) after this many ticks; stochastic

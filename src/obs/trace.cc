@@ -28,6 +28,10 @@ eventKindName(EventKind kind)
       case EventKind::CompactionBreak: return "compaction_break";
       case EventKind::CycleFlip: return "cycle_flip";
       case EventKind::SegmentFail: return "segment_fail";
+      case EventKind::SegmentRepair: return "segment_repair";
+      case EventKind::BusSevered: return "bus_severed";
+      case EventKind::MessageRecovered: return "message_recovered";
+      case EventKind::WatchdogFire: return "watchdog_fire";
     }
     panic("unknown EventKind ", static_cast<int>(kind));
 }

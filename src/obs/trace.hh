@@ -47,12 +47,16 @@ enum class EventKind : std::uint8_t
     CompactionMake,  //!< make step: level -> a at `gap` (b = moveSeq)
     CompactionBreak, //!< break step completed; level = new, a = old
     CycleFlip,       //!< INC `node` finished a cycle (a = cycle count)
-    SegmentFail,     //!< segment (gap, level) permanently faulted
+    SegmentFail,     //!< segment (gap, level) faulted (a = occupant)
+    SegmentRepair,   //!< faulted segment (gap, level) repaired
+    BusSevered,      //!< live bus lost a segment; a = SeverReason
+    MessageRecovered, //!< delivery after >= 1 sever (a = latency)
+    WatchdogFire,    //!< source watchdog expired on a silent bus
 };
 
 /** Number of EventKind values (for per-kind counters). */
 constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::SegmentFail) + 1;
+    static_cast<std::size_t>(EventKind::WatchdogFire) + 1;
 
 /** Reason codes carried in the `a` field of a Nack event. */
 enum NackReason : std::uint64_t
@@ -67,6 +71,14 @@ enum TeardownKind : std::uint64_t
 {
     kTeardownFack = 0, //!< delivery complete, Fack freeing the bus
     kTeardownNack = 1, //!< refusal/abort, Nack freeing the bus
+    kTeardownFault = 2, //!< severed by a fault or watchdog
+};
+
+/** Reason codes carried in the `a` field of a BusSevered event. */
+enum SeverReason : std::uint64_t
+{
+    kSeverFault = 0,    //!< a held segment was fault-injected
+    kSeverWatchdog = 1, //!< the source watchdog saw no progress
 };
 
 /** Stable lower_snake name of @p kind (used in the JSONL output). */

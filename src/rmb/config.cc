@@ -85,6 +85,33 @@ RmbConfig::validate() const
             " has no effect under BlockingPolicy::NackRetry; set"
             " blocking=Wait or drop the timeout"));
     }
+    if (faultMtbf > 0 && !transientFaults) {
+        problems.push_back(msg(
+            "faultMtbf=", faultMtbf,
+            " without transientFaults: the fault schedule hits"
+            " occupied segments, which needs the transient-fault"
+            " recovery path; set transientFaults=true"));
+    }
+    if (faultMtbf > 0 && faultMttrMin < 1) {
+        problems.push_back(
+            "faultMttrMin=0 with a fault schedule: a zero repair"
+            " delay repairs the segment in the injection tick; use"
+            " faultMttrMin >= 1");
+    }
+    if (faultMttrMin > faultMttrMax) {
+        problems.push_back(msg(
+            "fault MTTR range [", faultMttrMin, ", ", faultMttrMax,
+            "] is inverted (min > max)"));
+    }
+    if (watchdogTimeout > 0 &&
+        watchdogTimeout < headerHopDelay + ackHopDelay) {
+        problems.push_back(msg(
+            "watchdogTimeout=", watchdogTimeout,
+            " is below one header+ack hop (",
+            headerHopDelay + ackHopDelay,
+            " ticks); every healthy bus would be severed before it"
+            " could make its first hop"));
+    }
     return problems;
 }
 

@@ -108,6 +108,46 @@ struct RmbConfig
     std::uint32_t maxRetries = 0;
 
     /**
+     * Allow failSegment on an *occupied* segment: the occupying
+     * virtual bus is severed, torn down hop by hop, and its message
+     * re-queued through the Nack backoff machinery (see
+     * docs/FAULTS.md).  When false (the default), faulting an
+     * occupied segment is a hard configuration error - the
+     * historical static-fault model, where faults are injected
+     * before traffic starts.
+     */
+    bool transientFaults = false;
+
+    /**
+     * Mean ticks between fault injections by the built-in
+     * FaultSchedule (0 disables the schedule).  Inter-fault gaps are
+     * geometric with this mean, drawn from a dedicated
+     * sim::Random::split substream so the fault process never
+     * perturbs protocol randomness.  Requires transientFaults.
+     */
+    sim::Tick faultMtbf = 0;
+
+    /**
+     * Repair delay of a scheduled fault: uniform in
+     * [faultMttrMin, faultMttrMax] ticks after injection.
+     */
+    sim::Tick faultMttrMin = 500;
+    sim::Tick faultMttrMax = 2000;
+
+    /**
+     * Source-side watchdog: if a live virtual bus makes no protocol
+     * progress for this many ticks (lost Hack/Dack/Fack after a
+     * silent fault, or a Wait-mode deadlock), the source severs it
+     * and retries the message.  0 disables the watchdog.  Must
+     * comfortably exceed the longest legitimate quiet phase (e.g. a
+     * full header round trip plus blocking time) or healthy buses
+     * get severed; see docs/FAULTS.md for sizing.  Closed-form
+     * streaming (detailedFlits=false) is exempt: its completion is a
+     * single pre-scheduled event that cannot be lost.
+     */
+    sim::Tick watchdogTimeout = 0;
+
+    /**
      * Master switch for the compaction protocol; disabling it is the
      * key ablation (the top bus is then the only injection resource
      * and never recycled until teardown).

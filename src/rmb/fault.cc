@@ -1,0 +1,66 @@
+#include "rmb/fault.hh"
+
+#include "common/logging.hh"
+#include "rmb/network.hh"
+#include "sim/simulator.hh"
+
+namespace rmb {
+namespace core {
+
+FaultSchedule::FaultSchedule(RmbNetwork &network, sim::Random rng)
+    : network_(network), rng_(rng)
+{
+    rmb_assert(network_.config().faultMtbf > 0,
+               "FaultSchedule needs faultMtbf > 0");
+}
+
+void
+FaultSchedule::start()
+{
+    scheduleNextFault();
+}
+
+void
+FaultSchedule::scheduleNextFault()
+{
+    const sim::Tick mtbf = network_.config().faultMtbf;
+    // 1 + geometric(1/mtbf) is the discrete analogue of an
+    // exponential inter-arrival with mean ~mtbf, never zero.
+    const sim::Tick gap =
+        1 + rng_.geometric(1.0 / static_cast<double>(mtbf));
+    network_.simulator().schedule(gap, [this] { injectOne(); });
+}
+
+void
+FaultSchedule::injectOne()
+{
+    const RmbConfig &cfg = network_.config();
+    const std::uint32_t n = cfg.numNodes;
+    const std::uint32_t k = cfg.numBuses;
+    const SegmentTable &table = network_.segments();
+
+    // Keep at least half the grid alive: letting the process
+    // swallow every segment partitions the (one-way) ring and the
+    // availability sweep would measure nothing but the partition.
+    if (table.faultyCount() < n * k / 2) {
+        for (int tries = 0; tries < 64; ++tries) {
+            const auto g = static_cast<GapId>(rng_.uniformInt(n));
+            const auto l = static_cast<Level>(rng_.uniformInt(k));
+            if (table.isFaulty(g, l))
+                continue;
+            network_.failSegment(g, l);
+            ++injected_;
+            const sim::Tick mttr = rng_.uniformRange(
+                cfg.faultMttrMin, cfg.faultMttrMax);
+            network_.simulator().schedule(mttr, [this, g, l] {
+                network_.repairSegment(g, l);
+                ++repaired_;
+            });
+            break;
+        }
+    }
+    scheduleNextFault();
+}
+
+} // namespace core
+} // namespace rmb

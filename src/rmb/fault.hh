@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MTBF/MTTR transient-fault process for the RMB network.
+ *
+ * A FaultSchedule turns the static failSegment/repairSegment API
+ * into a stochastic fail-repair event process: inter-fault gaps are
+ * geometric with mean RmbConfig::faultMtbf, each injected fault is
+ * repaired after a uniform [faultMttrMin, faultMttrMax] delay.  All
+ * draws come from a dedicated sim::Random::split substream handed in
+ * by the owner, so the fault process is deterministic per seed and
+ * independent of protocol randomness (see docs/FAULTS.md).
+ */
+
+#ifndef RMB_RMB_FAULT_HH
+#define RMB_RMB_FAULT_HH
+
+#include <cstdint>
+
+#include "rmb/types.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace core {
+
+class RmbNetwork;
+
+/** Stream id of the fault substream under sim::Random(seed). */
+constexpr std::uint64_t kFaultStream = 0xfa;
+
+/**
+ * Drives failSegment/repairSegment through the owning network's
+ * simulator.  Constructed (and started) by RmbNetwork when
+ * RmbConfig::faultMtbf > 0; uses only the network's public API.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule(RmbNetwork &network, sim::Random rng);
+
+    /** Schedule the first fault; call once after construction. */
+    void start();
+
+    /** Faults injected by this schedule so far. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** Repairs completed by this schedule so far. */
+    std::uint64_t repaired() const { return repaired_; }
+
+  private:
+    void scheduleNextFault();
+    void injectOne();
+
+    RmbNetwork &network_;
+    sim::Random rng_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t repaired_ = 0;
+};
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_FAULT_HH

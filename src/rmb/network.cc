@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "rmb/fault.hh"
 
 namespace rmb {
 namespace core {
@@ -54,8 +55,16 @@ RmbStats::RmbStats(obs::MetricsRegistry &registry)
       dacks(registry.counter("rmb.dacks")),
       maxCycleSkew(registry.counter("rmb.cycle.max_skew")),
       multicasts(registry.counter("rmb.multicasts")),
+      faultsInjected(registry.counter("rmb.faults.injected")),
+      faultsRepaired(registry.counter("rmb.faults.repaired")),
+      busesSevered(registry.counter("rmb.faults.severed")),
+      messagesRecovered(registry.counter("rmb.faults.recovered")),
+      messagesLost(registry.counter("rmb.faults.lost")),
+      watchdogFires(registry.counter("rmb.watchdog.fires")),
       topReleaseLatency(
           registry.sampler("rmb.top_release_latency")),
+      recoveryLatency(
+          registry.sampler("rmb.faults.recovery_latency")),
       multicastMemberLatency(
           registry.sampler("rmb.multicast.member_latency")),
       blockedTime(registry.sampler("rmb.blocked.time")),
@@ -85,6 +94,15 @@ RmbNetwork::RmbNetwork(sim::Simulator &simulator,
     }
     for (auto &inc : incs_)
         inc->start(*this);
+
+    if (config_.faultMtbf > 0) {
+        // The fault process draws from its own split substream so
+        // enabling it never perturbs protocol randomness (INC
+        // phases above, backoff jitter) for a given seed.
+        faults_ = std::make_unique<FaultSchedule>(
+            *this, sim::Random(config_.seed).split(kFaultStream));
+        faults_->start();
+    }
 }
 
 RmbNetwork::~RmbNetwork() = default;
@@ -282,13 +300,23 @@ RmbNetwork::tryInject(net::NodeId node)
 
     simulator().schedule(config_.headerHopDelay,
                          [this, bid] { headerArrive(bid); });
+    if (config_.watchdogTimeout > 0)
+        armWatchdog(bid, bus.epoch);
     checkAfterMutation();
 }
 
 void
 RmbNetwork::headerArrive(VirtualBusId bus_id)
 {
-    VirtualBus &bus = busRef(bus_id);
+    // A fault or watchdog sever may beat an in-flight header event:
+    // the bus is then gone (short teardown) or in FaultTeardown.
+    // Any other state mismatch is still a protocol bug.
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end() ||
+        it->second.state == BusState::FaultTeardown) {
+        return;
+    }
+    VirtualBus &bus = it->second;
     rmb_assert(bus.state == BusState::Advancing,
                "header arrival on a non-advancing bus");
     const net::NodeId here = bus.headNode;
@@ -345,13 +373,41 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
     const net::NodeId here = bus.headNode;
     const GapId gap = here;
 
-    Level chosen = kNoLevel;
-    for (Level l : reachableLevels(bus)) {
-        if (segments_.isFree(gap, l)) {
-            chosen = l;
-            break;
+    // Fault lookahead: prefer output levels from which the *next*
+    // gap still has a live onward level.  Without this, eager
+    // descent walks straight into a gap whose low levels are all
+    // faulted - a deterministic trap (the level-0 header can only
+    // reach the dead {0, 1}).  When every free level is a dead end,
+    // fall back to the plain choice and let the blocking/abort
+    // machinery handle it.
+    const GapId next_gap = (here + 1) % config_.numNodes;
+    const bool lookahead =
+        segments_.faultyCount() > 0 && next_gap != bus.dst;
+    const auto dead_end = [&](Level lin) {
+        for (Level lout : {lin - 1, lin, lin + 1}) {
+            if (lout < 0 ||
+                lout >= static_cast<Level>(config_.numBuses))
+                continue;
+            if (!segments_.isFaulty(next_gap, lout))
+                return false;
         }
+        return true;
+    };
+
+    Level chosen = kNoLevel;
+    Level fallback = kNoLevel;
+    for (Level l : reachableLevels(bus)) {
+        if (!segments_.isFree(gap, l))
+            continue;
+        if (fallback == kNoLevel)
+            fallback = l;
+        if (lookahead && dead_end(l))
+            continue;
+        chosen = l;
+        break;
     }
+    if (chosen == kNoLevel)
+        chosen = fallback;
 
     if (chosen != kNoLevel) {
         if (bus.state == BusState::Blocked) {
@@ -368,6 +424,7 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
         segments_.occupy(gap, chosen, bus_id, simulator().now());
         bus.hops.push_back(Hop{gap, chosen, kNoLevel, 0});
         bus.headNode = (here + 1) % config_.numNodes;
+        ++bus.epoch;
         if (tracing())
             emitTrace(busEvent(obs::EventKind::HeaderHop, bus, here,
                                gap, chosen));
@@ -393,6 +450,7 @@ RmbNetwork::tryAdvance(VirtualBusId bus_id)
     if (bus.state != BusState::Blocked) {
         bus.state = BusState::Blocked;
         bus.blockedSince = simulator().now();
+        ++bus.epoch;
         ++rmbStats_.blockedHeaders;
         if (tracing())
             emitTrace(busEvent(obs::EventKind::Block, bus, here,
@@ -438,6 +496,7 @@ RmbNetwork::acceptAtDestination(VirtualBus &bus)
     Pe &pe = pes_[bus.dst];
     pe.activeReceives.push_back(bus.message);
     bus.state = BusState::AwaitHack;
+    ++bus.epoch;
     const auto path =
         static_cast<sim::Tick>(bus.hops.size());
     rmb_assert(bus.hops.size() ==
@@ -453,11 +512,17 @@ RmbNetwork::acceptAtDestination(VirtualBus &bus)
 void
 RmbNetwork::hackArriveAtSource(VirtualBusId bus_id)
 {
-    VirtualBus &bus = busRef(bus_id);
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end() ||
+        it->second.state == BusState::FaultTeardown) {
+        return; // severed while the Hack travelled back
+    }
+    VirtualBus &bus = it->second;
     rmb_assert(bus.state == BusState::AwaitHack,
                "Hack arrived on a bus in state ",
                static_cast<int>(bus.state));
     bus.state = BusState::Streaming;
+    ++bus.epoch;
     noteEstablished(messageRef(bus.message));
     noteCircuit(+1);
 
@@ -486,7 +551,12 @@ RmbNetwork::hackArriveAtSource(VirtualBusId bus_id)
 void
 RmbNetwork::departFlit(VirtualBusId bus_id, std::uint32_t seq)
 {
-    VirtualBus &bus = busRef(bus_id);
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end() ||
+        it->second.state == BusState::FaultTeardown) {
+        return; // severed; the pump died with the bus
+    }
+    VirtualBus &bus = it->second;
     rmb_assert(bus.state == BusState::Streaming,
                "flit departure on a non-streaming bus");
     rmb_assert(seq == bus.flitsSent, "flits must depart in order");
@@ -494,6 +564,7 @@ RmbNetwork::departFlit(VirtualBusId bus_id, std::uint32_t seq)
     rmb_assert(seq <= m.payloadFlits, "flit sequence overrun");
 
     ++bus.flitsSent;
+    ++bus.epoch;
     bus.lastFlitDepart = simulator().now();
     if (tracing()) {
         obs::TraceEvent e =
@@ -529,7 +600,12 @@ RmbNetwork::departFlit(VirtualBusId bus_id, std::uint32_t seq)
 void
 RmbNetwork::flitArriveAtDst(VirtualBusId bus_id, std::uint32_t seq)
 {
-    VirtualBus &bus = busRef(bus_id);
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end() ||
+        it->second.state == BusState::FaultTeardown) {
+        return; // severed; in-flight flits are lost with the bus
+    }
+    VirtualBus &bus = it->second;
     rmb_assert(bus.state == BusState::Streaming,
                "flit arrival on a non-streaming bus");
     // The paper's contiguity guarantee: flits arrive in order and
@@ -542,6 +618,7 @@ RmbNetwork::flitArriveAtDst(VirtualBusId bus_id, std::uint32_t seq)
                        bus.lastFlitArrive + config_.flitDelay,
                "flits bunched closer than the pipeline rate");
     ++bus.flitsAtDst;
+    ++bus.epoch;
     bus.lastFlitArrive = simulator().now();
 
     const net::Message &m = message(bus.message);
@@ -564,7 +641,10 @@ RmbNetwork::dackArriveAtSource(VirtualBusId bus_id)
     if (it == buses_.end())
         return; // bus already torn down (Dacks may trail the FF)
     VirtualBus &bus = it->second;
+    if (bus.state == BusState::FaultTeardown)
+        return; // severed mid-stream; the trailing Dack is void
     ++bus.flitsAcked;
+    ++bus.epoch;
     ++rmbStats_.dacks;
     if (tracing()) {
         obs::TraceEvent e =
@@ -590,7 +670,12 @@ RmbNetwork::dackArriveAtSource(VirtualBusId bus_id)
 void
 RmbNetwork::finalFlitArrive(VirtualBusId bus_id)
 {
-    VirtualBus &bus = busRef(bus_id);
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end() ||
+        it->second.state == BusState::FaultTeardown) {
+        return; // severed before the final flit could land
+    }
+    VirtualBus &bus = it->second;
     rmb_assert(bus.state == BusState::Streaming,
                "FF arrived on a non-streaming bus");
     noteDelivered(messageRef(bus.message),
@@ -598,21 +683,37 @@ RmbNetwork::finalFlitArrive(VirtualBusId bus_id)
     noteCircuit(-1);
     pes_[bus.dst].releaseReceive(bus.message);
     finishMulticast(bus.message);
+
+    // Delivered despite at least one earlier sever: the recovery
+    // path (teardown -> requeue -> retry) closed the loop.
+    auto sev = severedAt_.find(bus.message);
+    if (sev != severedAt_.end()) {
+        ++rmbStats_.messagesRecovered;
+        rmbStats_.recoveryLatency.add(
+            static_cast<double>(simulator().now() - sev->second));
+        if (tracing()) {
+            obs::TraceEvent e = busEvent(
+                obs::EventKind::MessageRecovered, bus, bus.dst);
+            e.a = simulator().now() - sev->second;
+            emitTrace(e);
+        }
+        severedAt_.erase(sev);
+    }
     startTeardown(bus, BusState::FackTeardown);
 }
 
 void
 RmbNetwork::startTeardown(VirtualBus &bus, BusState kind)
 {
-    rmb_assert(kind == BusState::FackTeardown ||
-                   kind == BusState::NackTeardown,
-               "bad teardown kind");
+    rmb_assert(isTeardown(kind), "bad teardown kind");
     bus.state = kind;
+    ++bus.epoch;
     if (tracing()) {
         obs::TraceEvent e = busEvent(obs::EventKind::Teardown, bus,
                                      bus.headNode);
-        e.a = kind == BusState::FackTeardown ? obs::kTeardownFack
-                                             : obs::kTeardownNack;
+        e.a = kind == BusState::FackTeardown   ? obs::kTeardownFack
+              : kind == BusState::NackTeardown ? obs::kTeardownNack
+                                               : obs::kTeardownFault;
         emitTrace(e);
     }
     const VirtualBusId bid = bus.id;
@@ -624,9 +725,7 @@ void
 RmbNetwork::teardownStep(VirtualBusId bus_id)
 {
     VirtualBus &bus = busRef(bus_id);
-    rmb_assert(bus.state == BusState::FackTeardown ||
-                   bus.state == BusState::NackTeardown,
-               "teardown step on a live bus");
+    rmb_assert(isTeardown(bus.state), "teardown step on a live bus");
     rmb_assert(!bus.hops.empty(), "teardown of an empty bus");
 
     // The Fack/Nack just crossed the head-most remaining hop; the
@@ -634,6 +733,7 @@ RmbNetwork::teardownStep(VirtualBusId bus_id)
     Hop hop = bus.hops.back();
     bus.hops.pop_back();
     ++bus.hopsFreed;
+    ++bus.epoch;
 
     if (!bus.hops.empty()) {
         if (hop.inMove())
@@ -670,20 +770,24 @@ RmbNetwork::busFinished(VirtualBusId bus_id, const Hop &last_hop)
     pe.releaseSend(mid);
 
     // Retry bookkeeping precedes the wakeups so the backoff window
-    // is in place when segmentFreed pokes the source PE.
-    bool failed = false;
-    if (kind == BusState::NackTeardown) {
+    // is in place when segmentFreed pokes the source PE.  A
+    // fault-severed bus rides the same requeue path as a Nacked one.
+    if (kind == BusState::NackTeardown ||
+        kind == BusState::FaultTeardown) {
         net::Message &m = messageRef(mid);
         if (config_.maxRetries > 0 &&
             m.retries >= config_.maxRetries) {
             noteFailed(m);
-            failed = true;
+            auto sev = severedAt_.find(mid);
+            if (sev != severedAt_.end()) {
+                ++rmbStats_.messagesLost;
+                severedAt_.erase(sev);
+            }
         } else {
             pe.sendQueue.push_front(mid);
             scheduleRetry(src, mid);
         }
     }
-    (void)failed;
 
     const Level top = static_cast<Level>(config_.numBuses) - 1;
     if (!top_released && last_hop.level == top) {
@@ -693,10 +797,12 @@ RmbNetwork::busFinished(VirtualBusId bus_id, const Hop &last_hop)
     if (last_hop.inMove()) {
         segments_.release(last_hop.gap, last_hop.dualLevel, bus_id,
                           now);
-        segmentFreed(last_hop.gap, last_hop.dualLevel);
+        if (!segments_.isFaulty(last_hop.gap, last_hop.dualLevel))
+            segmentFreed(last_hop.gap, last_hop.dualLevel);
     }
     segments_.release(last_hop.gap, last_hop.level, bus_id, now);
-    segmentFreed(last_hop.gap, last_hop.level);
+    if (!segments_.isFaulty(last_hop.gap, last_hop.level))
+        segmentFreed(last_hop.gap, last_hop.level);
     tryInject(src);
     checkAfterMutation();
 }
@@ -743,7 +849,10 @@ RmbNetwork::releaseSegment(VirtualBus &bus, GapId gap, Level level)
         rmbStats_.topReleaseLatency.add(
             static_cast<double>(simulator().now() - bus.injectedAt));
     }
-    segmentFreed(gap, level);
+    // A faulted segment is released (the severed owner lets go of
+    // it) but not *freed*: nobody may claim it until repair.
+    if (!segments_.isFaulty(gap, level))
+        segmentFreed(gap, level);
 }
 
 void
@@ -778,10 +887,8 @@ bool
 RmbNetwork::hopMovable(const VirtualBus &bus,
                        std::size_t hop_index) const
 {
-    if (bus.state == BusState::FackTeardown ||
-        bus.state == BusState::NackTeardown) {
+    if (isTeardown(bus.state))
         return false;
-    }
     const Hop &hop = bus.hops[hop_index];
     if (hop.inMove() || hop.level <= 0)
         return false;
@@ -826,7 +933,7 @@ RmbNetwork::makeEligibleMoves(GapId gap, int parity)
         if ((l % 2) != parity)
             continue;
         const VirtualBusId bid = segments_.occupant(gap, l);
-        if (bid == kNoBus || bid == kFaultBus)
+        if (bid == kNoBus)
             continue;
         auto it = buses_.find(bid);
         rmb_assert(it != buses_.end(),
@@ -881,6 +988,13 @@ RmbNetwork::breakMoves(const std::vector<MoveRecord> &records)
             hop.level != r.fromLevel) {
             continue; // stale record
         }
+        if (segments_.isFaulty(r.gap, r.toLevel)) {
+            // The target faulted between make and break; the sever
+            // path cancels such moves at injection time, but refuse
+            // here too so a break can never commit onto a dead
+            // segment.
+            continue;
+        }
         hop.level = r.toLevel;
         hop.dualLevel = kNoLevel;
         ++rmbStats_.compactionMoves;
@@ -908,7 +1022,17 @@ RmbNetwork::breakMoves(const std::vector<MoveRecord> &records)
 void
 RmbNetwork::failSegment(GapId gap, Level level)
 {
+    const VirtualBusId occupant = segments_.occupant(gap, level);
+    if (occupant != kNoBus && !config_.transientFaults) {
+        panic("failSegment(", gap, ",", level, "): can only fault a"
+              " free segment while transient faults are disabled,"
+              " and level ", level, " of gap ", gap,
+              " is held by virtual bus ", occupant,
+              "; set RmbConfig::transientFaults to sever live"
+              " buses");
+    }
     segments_.markFaulty(gap, level, simulator().now());
+    ++rmbStats_.faultsInjected;
     if (tracing()) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::SegmentFail;
@@ -916,8 +1040,147 @@ RmbNetwork::failSegment(GapId gap, Level level)
         e.node = gap;
         e.gap = gap;
         e.level = level;
+        e.a = occupant;
         emitTrace(e);
     }
+    if (occupant != kNoBus)
+        severOccupant(gap, level, occupant);
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::repairSegment(GapId gap, Level level)
+{
+    segments_.clearFault(gap, level, simulator().now());
+    ++rmbStats_.faultsRepaired;
+    if (tracing()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::SegmentRepair;
+        e.at = simulator().now();
+        e.node = gap;
+        e.gap = gap;
+        e.level = level;
+        emitTrace(e);
+    }
+    // A severed occupant may still be walking its teardown across
+    // this segment; then the wakeups happen at its release instead.
+    if (segments_.isFree(gap, level))
+        segmentFreed(gap, level);
+    checkAfterMutation();
+}
+
+void
+RmbNetwork::severOccupant(GapId gap, Level level,
+                          VirtualBusId bus_id)
+{
+    VirtualBus &bus = busRef(bus_id);
+    if (isTeardown(bus.state))
+        return; // the walking Fack/Nack will release it anyway
+
+    const auto idx = static_cast<std::size_t>(
+        (gap + config_.numNodes - bus.srcGap()) % config_.numNodes);
+    rmb_assert(idx < bus.hops.size(),
+               "faulted segment held by a hop out of range");
+    Hop &hop = bus.hops[idx];
+    rmb_assert(hop.gap == gap, "hop/gap bookkeeping mismatch");
+
+    if (hop.inMove() && level == hop.dualLevel) {
+        // The fault hit the make-before-break *target* before the
+        // break step: cancel the move and stay on the (live) old
+        // level.  The pending break record goes stale via inMove().
+        segments_.release(gap, level, bus_id, simulator().now());
+        hop.dualLevel = kNoLevel;
+        return;
+    }
+    if (hop.inMove() && level == hop.level) {
+        // The fault hit the *old* level mid-move: make-before-break
+        // means the lower segment already carries the signal, so
+        // complete the move early instead of severing.
+        segments_.release(gap, level, bus_id, simulator().now());
+        hop.level = hop.dualLevel;
+        hop.dualLevel = kNoLevel;
+        ++rmbStats_.compactionMoves;
+        return;
+    }
+    rmb_assert(level == hop.level,
+               "faulted segment not part of its occupant's hop");
+    severBus(bus, obs::kSeverFault);
+}
+
+void
+RmbNetwork::severBus(VirtualBus &bus, std::uint64_t reason)
+{
+    rmb_assert(!isTeardown(bus.state),
+               "sever of a bus already tearing down");
+    const sim::Tick now = simulator().now();
+
+    switch (bus.state) {
+      case BusState::Blocked: {
+        rmbStats_.blockedTime.add(
+            static_cast<double>(now - bus.blockedSince));
+        auto &q = waiters_[bus.headNode];
+        q.erase(std::remove(q.begin(), q.end(), bus.id), q.end());
+        break;
+      }
+      case BusState::AwaitHack:
+        pes_[bus.dst].releaseReceive(bus.message);
+        break;
+      case BusState::Streaming:
+        pes_[bus.dst].releaseReceive(bus.message);
+        noteCircuit(-1);
+        // The re-injected header starts a fresh circuit; in-flight
+        // flit/Dack events die against the FaultTeardown guards.
+        messageRef(bus.message).state = net::MessageState::Setup;
+        break;
+      default:
+        break; // Advancing: the in-flight header event goes stale
+    }
+
+    ++rmbStats_.busesSevered;
+    severedAt_.emplace(bus.message, now); // keeps the first sever
+    if (tracing()) {
+        obs::TraceEvent e = busEvent(obs::EventKind::BusSevered,
+                                     bus, bus.headNode);
+        e.a = reason;
+        emitTrace(e);
+    }
+    startTeardown(bus, BusState::FaultTeardown);
+}
+
+void
+RmbNetwork::armWatchdog(VirtualBusId bus_id, std::uint64_t epoch)
+{
+    simulator().schedule(config_.watchdogTimeout,
+                         [this, bus_id, epoch] {
+                             watchdogCheck(bus_id, epoch);
+                         });
+}
+
+void
+RmbNetwork::watchdogCheck(VirtualBusId bus_id, std::uint64_t epoch)
+{
+    auto it = buses_.find(bus_id);
+    if (it == buses_.end())
+        return; // retired; the watchdog dies with the bus
+    VirtualBus &bus = it->second;
+    // Teardowns are self-driving, and closed-form streaming is one
+    // pre-scheduled event that cannot be lost - neither counts as
+    // "silent".
+    const bool exempt =
+        isTeardown(bus.state) ||
+        (bus.state == BusState::Streaming && !config_.detailedFlits);
+    if (bus.epoch != epoch || exempt) {
+        armWatchdog(bus_id, bus.epoch);
+        return;
+    }
+    ++rmbStats_.watchdogFires;
+    if (tracing()) {
+        obs::TraceEvent e = busEvent(obs::EventKind::WatchdogFire,
+                                     bus, bus.src);
+        e.a = epoch;
+        emitTrace(e);
+    }
+    severBus(bus, obs::kSeverWatchdog);
     checkAfterMutation();
 }
 
@@ -960,7 +1223,7 @@ RmbNetwork::outputStatus(net::NodeId node, Level level,
     if (pe_driven)
         *pe_driven = false;
     const VirtualBusId bid = segments_.occupant(node, level);
-    if (bid == kNoBus || bid == kFaultBus)
+    if (bid == kNoBus)
         return 0b000;
     const VirtualBus *b = bus(bid);
     rmb_assert(b, "segment held by a dead bus");
@@ -1070,6 +1333,37 @@ RmbNetwork::auditInvariants() const
                "grid claims ", segments_.occupiedCount(),
                " segments but buses own ", claimed, " (plus ",
                segments_.faultyCount(), " faulted)");
+
+    // Fault/occupancy consistency: the fault-mask count adds up, a
+    // faulted segment never reads as free, and any bus still holding
+    // one must be tearing down (failSegment severs the occupant
+    // synchronously; only the walking teardown may linger).
+    std::uint32_t faulted_seen = 0;
+    for (GapId g = 0; g < n; ++g) {
+        for (Level l = 0; l < k; ++l) {
+            if (!segments_.isFaulty(g, l))
+                continue;
+            ++faulted_seen;
+            rmb_assert(!segments_.isFree(g, l),
+                       "faulted segment (", g, ",", l,
+                       ") reads as free");
+            const VirtualBusId bid = segments_.occupant(g, l);
+            if (bid == kNoBus)
+                continue;
+            auto owner = buses_.find(bid);
+            rmb_assert(owner != buses_.end(),
+                       "faulted segment (", g, ",", l,
+                       ") held by dead bus ", bid);
+            rmb_assert(isTeardown(owner->second.state),
+                       "bus ", bid, " holds faulted segment (", g,
+                       ",", l, ") but is not tearing down (state ",
+                       static_cast<int>(owner->second.state), ")");
+        }
+    }
+    rmb_assert(faulted_seen == segments_.faultyCount(),
+               "fault mask shows ", faulted_seen,
+               " faulted segments but the table counts ",
+               segments_.faultyCount());
 
     // Derived Table-1 codes must all be legal (outputStatus panics
     // internally if not).

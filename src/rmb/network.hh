@@ -35,6 +35,8 @@
 namespace rmb {
 namespace core {
 
+class FaultSchedule;
+
 /**
  * Typed view of the RMB-specific counters beyond the common
  * NetworkStats.  Like NetworkStats, the metrics live in the owning
@@ -65,8 +67,24 @@ struct RmbStats
     /** Multicast/broadcast groups completed. */
     obs::Counter &multicasts;
 
+    /** Segment faults injected (failSegment calls). */
+    obs::Counter &faultsInjected;
+    /** Segment faults repaired (repairSegment calls). */
+    obs::Counter &faultsRepaired;
+    /** Live virtual buses severed by a fault or the watchdog. */
+    obs::Counter &busesSevered;
+    /** Messages delivered despite >= 1 sever along the way. */
+    obs::Counter &messagesRecovered;
+    /** Messages that were severed and then permanently failed. */
+    obs::Counter &messagesLost;
+    /** Source watchdog expirations (each severs one bus). */
+    obs::Counter &watchdogFires;
+
     /** Injection -> the source's top segment is free again. */
     sim::SampleStat &topReleaseLatency;
+
+    /** First sever -> eventual delivery, per recovered message. */
+    sim::SampleStat &recoveryLatency;
 
     /** Creation -> per-member delivery over all multicast members. */
     sim::SampleStat &multicastMemberLatency;
@@ -167,14 +185,26 @@ class RmbNetwork : public net::Network
                               bool *pe_driven = nullptr) const;
 
     /**
-     * Fault injection: permanently disable the physical segment at
-     * (@p gap, @p level).  The segment must currently be free.  The
-     * protocol routes and compacts around faulted segments; note
+     * Fault injection: disable the physical segment at
+     * (@p gap, @p level).  With RmbConfig::transientFaults the
+     * segment may be *occupied*: the owning virtual bus is severed
+     * and torn down hop by hop, and its message retried from the
+     * source (docs/FAULTS.md).  Without it, faulting an occupied
+     * segment is a hard error (the historical static-fault model).
+     * The protocol routes and compacts around faulted segments; note
      * that faulting a gap's *top* segment disables injection at
      * that node, and faulting all k levels of a gap partitions the
      * (one-way) ring.
      */
     void failSegment(GapId gap, Level level);
+
+    /**
+     * Repair a faulted segment: the inverse of failSegment.  The
+     * segment becomes claimable again once any severed occupant has
+     * finished releasing it; blocked headers and pending injections
+     * are woken exactly as on a normal release.
+     */
+    void repairSegment(GapId gap, Level level);
 
     /** Run every structural invariant check now (any VerifyLevel). */
     void auditInvariants() const;
@@ -228,6 +258,11 @@ class RmbNetwork : public net::Network
     void dackArriveAtSource(VirtualBusId bus_id);
     void startTeardown(VirtualBus &bus, BusState kind);
     void teardownStep(VirtualBusId bus_id);
+    // --- transient-fault recovery (docs/FAULTS.md) ---
+    void severOccupant(GapId gap, Level level, VirtualBusId bus_id);
+    void severBus(VirtualBus &bus, std::uint64_t reason);
+    void armWatchdog(VirtualBusId bus_id, std::uint64_t epoch);
+    void watchdogCheck(VirtualBusId bus_id, std::uint64_t epoch);
     void finishMulticast(net::MessageId carrier);
     void busFinished(VirtualBusId bus_id, const Hop &last_hop);
     void scheduleRetry(net::NodeId node, net::MessageId msg);
@@ -268,6 +303,17 @@ class RmbNetwork : public net::Network
     std::vector<MulticastRecord> multicasts_;
     std::unordered_map<net::MessageId, MulticastId>
         carrierToMulticast_;
+
+    /**
+     * First-sever tick of every message whose virtual bus was cut by
+     * a fault or the watchdog and that has not yet been delivered
+     * (-> messagesRecovered + recoveryLatency) or permanently failed
+     * (-> messagesLost).
+     */
+    std::unordered_map<net::MessageId, sim::Tick> severedAt_;
+
+    /** MTBF/MTTR fail-repair process (RmbConfig::faultMtbf > 0). */
+    std::unique_ptr<FaultSchedule> faults_;
 
     RmbStats rmbStats_;
 };

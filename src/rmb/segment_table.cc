@@ -9,7 +9,7 @@ SegmentTable::SegmentTable(std::uint32_t num_gaps,
                            std::uint32_t num_levels)
     : numGaps_(num_gaps), numLevels_(num_levels),
       grid_(static_cast<std::size_t>(num_gaps) * num_levels, kNoBus),
-      busy_(grid_.size())
+      faultMask_(grid_.size(), 0), busy_(grid_.size())
 {
     rmb_assert(num_gaps >= 2 && num_levels >= 1,
                "segment table needs >= 2 gaps and >= 1 level");
@@ -35,40 +35,61 @@ SegmentTable::occupant(GapId gap, Level level) const
 void
 SegmentTable::markFaulty(GapId gap, Level level, sim::Tick now)
 {
-    auto &cell = grid_[index(gap, level)];
-    rmb_assert(cell == kNoBus, "can only fault a free segment;"
-               " (", gap, ",", level, ") is held by bus ", cell);
-    cell = kFaultBus;
+    const std::size_t i = index(gap, level);
+    rmb_assert(!faultMask_[i], "segment (", gap, ",", level,
+               ") is already faulted");
+    faultMask_[i] = 1;
     ++faulty_;
-    busy_[index(gap, level)].setBusy(now);
+    // A faulted segment counts as busy for utilization purposes; if
+    // it is occupied it is busy already.
+    if (grid_[i] == kNoBus)
+        busy_[i].setBusy(now);
+}
+
+void
+SegmentTable::clearFault(GapId gap, Level level, sim::Tick now)
+{
+    const std::size_t i = index(gap, level);
+    rmb_assert(faultMask_[i], "segment (", gap, ",", level,
+               ") is not faulted");
+    faultMask_[i] = 0;
+    --faulty_;
+    // The occupant (a severed bus mid-teardown) may still hold the
+    // segment; it only becomes idle once that release happens.
+    if (grid_[i] == kNoBus)
+        busy_[i].setFree(now);
 }
 
 void
 SegmentTable::occupy(GapId gap, Level level, VirtualBusId bus,
                      sim::Tick now)
 {
-    rmb_assert(bus != kNoBus && bus != kFaultBus,
-               "occupy by a sentinel bus id");
-    auto &cell = grid_[index(gap, level)];
+    rmb_assert(bus != kNoBus, "occupy by a sentinel bus id");
+    const std::size_t i = index(gap, level);
+    auto &cell = grid_[i];
     rmb_assert(cell == kNoBus, "segment (", gap, ",", level,
                ") already held by bus ", cell, "; bus ", bus,
                " tried to claim it");
+    rmb_assert(!faultMask_[i], "segment (", gap, ",", level,
+               ") is faulted; bus ", bus, " tried to claim it");
     cell = bus;
     ++occupied_;
-    busy_[index(gap, level)].setBusy(now);
+    busy_[i].setBusy(now);
 }
 
 void
 SegmentTable::release(GapId gap, Level level, VirtualBusId bus,
                       sim::Tick now)
 {
-    auto &cell = grid_[index(gap, level)];
+    const std::size_t i = index(gap, level);
+    auto &cell = grid_[i];
     rmb_assert(cell == bus, "segment (", gap, ",", level,
                ") held by bus ", cell, ", not by releasing bus ",
                bus);
     cell = kNoBus;
     --occupied_;
-    busy_[index(gap, level)].setFree(now);
+    if (!faultMask_[i])
+        busy_[i].setFree(now);
 }
 
 std::uint32_t

@@ -30,13 +30,20 @@ class SegmentTable
     std::uint32_t numGaps() const { return numGaps_; }
     std::uint32_t numLevels() const { return numLevels_; }
 
-    /** Occupant of (gap, level); kNoBus when free. */
+    /**
+     * Occupant of (gap, level); kNoBus when no virtual bus holds the
+     * segment.  Faults are tracked separately (isFaulty): a faulted
+     * segment may still report its occupant while the severed bus is
+     * being torn down hop by hop.
+     */
     VirtualBusId occupant(GapId gap, Level level) const;
 
+    /** Usable and unclaimed: no occupant and not faulted. */
     bool
     isFree(GapId gap, Level level) const
     {
-        return occupant(gap, level) == kNoBus;
+        return occupant(gap, level) == kNoBus &&
+               !isFaulty(gap, level);
     }
 
     /** Claim a free segment for @p bus at time @p now. */
@@ -48,20 +55,24 @@ class SegmentTable
                  sim::Tick now);
 
     /**
-     * Permanently disable a (currently free) segment: fault
-     * injection for robustness experiments.  The segment reads as
-     * occupied by kFaultBus forever.
+     * Disable a segment: fault injection for robustness
+     * experiments.  The segment may be occupied - the occupying
+     * virtual bus keeps ownership until the protocol tears it down -
+     * but no new bus can claim it until clearFault.
      */
     void markFaulty(GapId gap, Level level, sim::Tick now);
 
-    /** @return true if (gap, level) was fault-injected. */
+    /** Repair a faulted segment; any occupant keeps ownership. */
+    void clearFault(GapId gap, Level level, sim::Tick now);
+
+    /** @return true if (gap, level) is currently fault-injected. */
     bool
     isFaulty(GapId gap, Level level) const
     {
-        return occupant(gap, level) == kFaultBus;
+        return faultMask_[index(gap, level)];
     }
 
-    /** Number of fault-injected segments. */
+    /** Number of currently fault-injected segments. */
     std::uint32_t faultyCount() const { return faulty_; }
 
     /** Number of free levels in @p gap. */
@@ -86,6 +97,8 @@ class SegmentTable
     std::uint32_t numGaps_;
     std::uint32_t numLevels_;
     std::vector<VirtualBusId> grid_;
+    /** Per-segment fault flag, orthogonal to occupancy. */
+    std::vector<std::uint8_t> faultMask_;
     std::vector<sim::BusyTracker> busy_;
     std::uint64_t occupied_ = 0;
     std::uint32_t faulty_ = 0;

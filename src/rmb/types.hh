@@ -34,9 +34,6 @@ using VirtualBusId = std::uint64_t;
 /** Sentinel for "no virtual bus". */
 constexpr VirtualBusId kNoBus = 0;
 
-/** Sentinel occupant of a permanently failed bus segment. */
-constexpr VirtualBusId kFaultBus = ~VirtualBusId{0};
-
 /**
  * What a blocked header flit does when no reachable output segment is
  * free at an intermediate INC.

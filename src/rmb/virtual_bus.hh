@@ -50,7 +50,19 @@ enum class BusState : std::uint8_t
     Streaming,   //!< data flits flowing
     FackTeardown, //!< FF delivered; Fack freeing hops back to source
     NackTeardown, //!< refused/aborted; Nack freeing hops to source
+    FaultTeardown, //!< severed by a segment fault or watchdog; like
+                   //!< NackTeardown (the message retries) but kept
+                   //!< distinct for tracing and recovery metrics
 };
+
+/** True for any of the three teardown states. */
+inline bool
+isTeardown(BusState s)
+{
+    return s == BusState::FackTeardown ||
+           s == BusState::NackTeardown ||
+           s == BusState::FaultTeardown;
+}
 
 /**
  * Bookkeeping for one live virtual bus.  The hop deque is ordered
@@ -75,6 +87,13 @@ struct VirtualBus
     sim::Tick injectedAt = 0;
     /** Tick the header became blocked (for the optional timeout). */
     sim::Tick blockedSince = 0;
+    /**
+     * Bumped on every protocol step this bus makes (advance, block,
+     * ack, flit, teardown step).  The source-side watchdog snapshots
+     * it and fires only if the bus made no progress for a whole
+     * watchdog period - the signature of a silently lost ack.
+     */
+    std::uint64_t epoch = 0;
     /** True once the (source gap, top) segment released (stats). */
     bool topReleased = false;
 

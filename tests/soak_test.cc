@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
@@ -88,6 +89,71 @@ TEST_P(SoakMatrix, MixedWorkloadSurvivesFullAudit)
               net.segments().occupiedCount());
     s.runFor(2000); // drain trailing Facks
     EXPECT_EQ(net.segments().occupiedCount(), 0u);
+}
+
+// ----------------------------------------------------------------
+// Fault-churn soak: a live MTBF/MTTR fault process (FaultSchedule)
+// keeps failing and repairing segments under sustained load, with
+// the watchdog armed.  Every message must end in a terminal state
+// and the structural audit must hold once the churn drains.
+// ----------------------------------------------------------------
+
+TEST(FaultChurnSoak, SustainedLoadSurvivesFaultChurn)
+{
+    sim::Simulator s;
+    RmbConfig cfg;
+    cfg.numNodes = 16;
+    cfg.numBuses = 4;
+    cfg.seed = 77;
+    cfg.transientFaults = true;
+    cfg.faultMtbf = 400; // aggressive churn: ~1 fault / 400 ticks
+    cfg.faultMttrMin = 200;
+    cfg.faultMttrMax = 1'000;
+    cfg.watchdogTimeout = 800;
+    cfg.maxRetries = 60;
+    cfg.verify = VerifyLevel::Full;
+    RmbNetwork net(s, cfg);
+
+    sim::Random rng(41);
+    std::vector<net::MessageId> ids;
+    for (int round = 0; round < 4; ++round) {
+        // A full random permutation per round, plus crossing
+        // long-haul sends so some buses live long enough to be hit.
+        const auto pairs =
+            workload::toPairs(workload::randomFullTraffic(16, rng));
+        for (const auto &[src, dst] : pairs)
+            ids.push_back(net.send(src, dst, 48));
+        for (net::NodeId i = 0; i < 16; i += 4)
+            ids.push_back(net.send(i, (i + 9) % 16, 400));
+        while (!net.quiescent() &&
+               s.now() < static_cast<sim::Tick>(round + 1) * 4'000'000)
+            s.run(512);
+    }
+    ASSERT_TRUE(net.quiescent());
+
+    // Terminal accounting: every message delivered or explicitly
+    // failed, and the recovery/loss split covers every severed one.
+    const auto &ns = net.stats();
+    EXPECT_EQ(ns.delivered + ns.failed, ns.injected);
+    EXPECT_EQ(std::uint64_t{ns.injected}, ids.size());
+    for (const net::MessageId id : ids) {
+        const auto st = net.message(id).state;
+        EXPECT_TRUE(st == net::MessageState::Delivered ||
+                    st == net::MessageState::Failed);
+    }
+
+    // The churn must have actually exercised the recovery machinery.
+    const RmbStats &rs = net.rmbStats();
+    EXPECT_GT(rs.faultsInjected, 0u);
+    EXPECT_GT(rs.faultsRepaired, 0u);
+    EXPECT_GT(rs.busesSevered, 0u);
+    EXPECT_EQ(std::uint64_t{rs.messagesRecovered},
+              rs.recoveryLatency.count());
+
+    net.auditInvariants();
+    s.runFor(4'000); // drain trailing Facks and pending repairs
+    EXPECT_EQ(net.segments().occupiedCount(), 0u);
+    net.auditInvariants();
 }
 
 INSTANTIATE_TEST_SUITE_P(

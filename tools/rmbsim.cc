@@ -70,6 +70,12 @@ struct Options
     std::uint32_t sendPorts = 1;
     std::uint32_t receivePorts = 1;
     bool compaction = true;
+    /** --fault-mtbf: 0 keeps the transient-fault process off. */
+    sim::Tick faultMtbf = 0;
+    sim::Tick faultMttrMin = 500;
+    sim::Tick faultMttrMax = 2'000;
+    sim::Tick watchdog = 0;
+    std::uint32_t maxRetries = 0;
     std::string record;
     std::string replay;
     bool csv = false;
@@ -105,6 +111,11 @@ usage(int code = 2)
            "  --header    lowest|straight\n"
            "  --ports S,R                (send,receive ports/PE)\n"
            "  --no-compaction\n"
+           "  --fault-mtbf T             (transient faults, mean\n"
+           "                              ticks between faults)\n"
+           "  --fault-mttr MIN,MAX       (repair delay range)\n"
+           "  --watchdog T               (source watchdog timeout)\n"
+           "  --max-retries N            (0 = unlimited)\n"
            "  --record FILE | --replay FILE\n"
            "  --csv | --json [FILE] | --heatmap\n"
            "  --trace FILE               (JSONL protocol events)\n"
@@ -165,6 +176,20 @@ parse(int argc, char **argv)
                 std::stoul(v.substr(comma + 1)));
         } else if (arg == "--no-compaction") {
             o.compaction = false;
+        } else if (arg == "--fault-mtbf") {
+            o.faultMtbf = std::stoull(need(i));
+        } else if (arg == "--fault-mttr") {
+            const std::string v = need(i);
+            const auto comma = v.find(',');
+            if (comma == std::string::npos)
+                usage();
+            o.faultMttrMin = std::stoull(v.substr(0, comma));
+            o.faultMttrMax = std::stoull(v.substr(comma + 1));
+        } else if (arg == "--watchdog") {
+            o.watchdog = std::stoull(need(i));
+        } else if (arg == "--max-retries") {
+            o.maxRetries = static_cast<std::uint32_t>(
+                std::stoul(need(i)));
         } else if (arg == "--record") {
             o.record = need(i);
         } else if (arg == "--replay") {
@@ -199,6 +224,14 @@ rmbConfig(const Options &o)
     cfg.numBuses = o.buses;
     cfg.seed = o.seed;
     cfg.enableCompaction = o.compaction;
+    if (o.faultMtbf > 0) {
+        cfg.transientFaults = true;
+        cfg.faultMtbf = o.faultMtbf;
+        cfg.faultMttrMin = o.faultMttrMin;
+        cfg.faultMttrMax = o.faultMttrMax;
+    }
+    cfg.watchdogTimeout = o.watchdog;
+    cfg.maxRetries = o.maxRetries;
     cfg.sendPorts = o.sendPorts;
     cfg.receivePorts = o.receivePorts;
     cfg.headerPolicy = o.header == "straight"
