@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/sinks.hh"
 #include "rmb/network.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -139,6 +140,39 @@ BM_RmbFullVerifyOverhead(benchmark::State &state)
     state.SetLabel(full ? "VerifyLevel::Full" : "VerifyLevel::Off");
 }
 BENCHMARK(BM_RmbFullVerifyOverhead)->Arg(0)->Arg(1);
+
+/**
+ * Tracing-overhead gate: the same permutation batch with no sink
+ * attached (the hot path must stay a single pointer test) versus a
+ * NullSink (full event construction, discarded).  A widening gap
+ * between Arg(0) here and its historical value means something
+ * started paying trace costs unconditionally.
+ */
+void
+BM_RmbTraceOverhead(benchmark::State &state)
+{
+    const bool traced = state.range(0) != 0;
+    obs::NullSink null_sink;
+    for (auto _ : state) {
+        sim::Simulator s;
+        core::RmbConfig cfg;
+        cfg.numNodes = 16;
+        cfg.numBuses = 4;
+        cfg.verify = core::VerifyLevel::Off;
+        core::RmbNetwork net(s, cfg);
+        if (traced)
+            net.setTraceSink(&null_sink);
+        sim::Random rng(3);
+        const auto pairs = workload::toPairs(
+            workload::randomFullTraffic(16, rng));
+        for (const auto &[src, dst] : pairs)
+            net.send(src, dst, 16);
+        while (!net.quiescent())
+            s.run(1024);
+    }
+    state.SetLabel(traced ? "NullSink attached" : "no sink");
+}
+BENCHMARK(BM_RmbTraceOverhead)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -1,8 +1,52 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 namespace rmb {
+
+namespace {
+
+struct PanicHook
+{
+    std::uint64_t id;
+    std::function<void()> fn;
+};
+
+// Function-local so hook registration works from static
+// constructors regardless of link order.
+std::vector<PanicHook> &
+panicHooks()
+{
+    static std::vector<PanicHook> hooks;
+    return hooks;
+}
+
+std::uint64_t nextHookId = 1;
+
+} // namespace
+
+std::uint64_t
+addPanicHook(std::function<void()> hook)
+{
+    const std::uint64_t id = nextHookId++;
+    panicHooks().push_back(PanicHook{id, std::move(hook)});
+    return id;
+}
+
+void
+removePanicHook(std::uint64_t id)
+{
+    auto &hooks = panicHooks();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->id == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
+
 namespace detail {
 
 void
@@ -10,6 +54,15 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
                  line);
+    // Run the post-mortem hooks (newest first), but never re-enter
+    // them: a hook that panics would otherwise recurse forever.
+    static bool inPanic = false;
+    if (!inPanic) {
+        inPanic = true;
+        auto &hooks = panicHooks();
+        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+            it->fn();
+    }
     std::abort();
 }
 

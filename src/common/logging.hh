@@ -11,11 +11,25 @@
 #ifndef RMB_COMMON_LOGGING_HH
 #define RMB_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace rmb {
+
+/**
+ * Register @p hook to run after a panic message is printed but
+ * before abort().  Used by flight recorders (RingBufferSink) to dump
+ * post-mortem context when an invariant trips.  Hooks run newest
+ * first; a hook that itself panics is not re-entered.
+ * @return an id for removePanicHook().
+ */
+std::uint64_t addPanicHook(std::function<void()> hook);
+
+/** Unregister a hook; unknown ids are ignored (idempotent). */
+void removePanicHook(std::uint64_t id);
 
 namespace detail {
 

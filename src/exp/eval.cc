@@ -14,6 +14,8 @@
 #include "baselines/wormhole_ring.hh"
 #include "common/bitutils.hh"
 #include "obs/json.hh"
+#include "obs/sinks.hh"
+#include "obs/trace.hh"
 #include "rmb/dual_ring.hh"
 #include "rmb/network.hh"
 #include "rmb/torus.hh"
@@ -266,6 +268,26 @@ appendNetworkMetrics(PointResult &r, const net::Network &network)
     }
 }
 
+/**
+ * Per-kind protocol event counters as `trace.events.<kind>` metrics,
+ * in EventKind order.  Zero counts are skipped so points on networks
+ * that never emit a kind (baselines, no-fault runs) stay compact;
+ * the set of emitted keys is a pure function of the point config and
+ * seed, so sweep output stays byte-deterministic for any --jobs.
+ */
+void
+appendTraceMetrics(PointResult &r, const obs::CountingSink &counts)
+{
+    for (std::size_t k = 0; k < obs::kNumEventKinds; ++k) {
+        const auto kind = static_cast<obs::EventKind>(k);
+        if (counts.count(kind) == 0)
+            continue;
+        r.metrics.emplace_back(
+            "trace.events." + std::string(obs::eventKindName(kind)),
+            num(counts.count(kind)));
+    }
+}
+
 } // namespace
 
 PointResult
@@ -284,9 +306,12 @@ runPoint(const PointConfig &pt)
 
         sim::Simulator simulator;
         std::string error;
+        // Declared before the network so the sink outlives it.
+        obs::CountingSink trace_counts;
         auto network = makeNetwork(pt, simulator, net_seed, error);
         if (!network)
             return failPoint(pt, error);
+        network->setTraceSink(&trace_counts);
 
         PointResult r;
         r.index = pt.index;
@@ -313,6 +338,7 @@ runPoint(const PointConfig &pt)
             r.metrics.emplace_back("mean_setup",
                                    num(b.meanSetupLatency));
             appendNetworkMetrics(r, *network);
+            appendTraceMetrics(r, trace_counts);
             // A timed-out batch is a captured failure, not a crash:
             // the metrics above still describe how far it got.
             r.ok = b.completed;
@@ -340,6 +366,7 @@ runPoint(const PointConfig &pt)
         r.metrics.emplace_back("mean_setup",
                                num(o.meanSetupLatency));
         appendNetworkMetrics(r, *network);
+        appendTraceMetrics(r, trace_counts);
         r.ok = true;
         return r;
     } catch (const std::exception &e) {

@@ -1,5 +1,7 @@
 #include "netbase/network.hh"
 
+#include <iostream>
+
 #include "common/logging.hh"
 
 namespace rmb {
@@ -15,7 +17,9 @@ NetworkStats::NetworkStats(obs::MetricsRegistry &registry)
       setupLatency(registry.sampler("net.setup_latency")),
       totalLatency(registry.sampler("net.total_latency")),
       pathLength(registry.sampler("net.path_length")),
-      activeCircuits(registry.level("net.active_circuits"))
+      activeCircuits(registry.level("net.active_circuits")),
+      setupLatencyHist(registry.histogram("net.hist.setup_latency")),
+      dataPhaseHist(registry.histogram("net.hist.data_phase"))
 {}
 
 Network::Network(sim::Simulator &simulator, std::string name,
@@ -24,6 +28,26 @@ Network::Network(sim::Simulator &simulator, std::string name,
       name_(std::move(name)), numNodes_(num_nodes)
 {
     rmb_assert(numNodes_ >= 2, "a network needs at least two nodes");
+}
+
+Network::~Network()
+{
+    if (panicHookId_ != 0)
+        removePanicHook(panicHookId_);
+}
+
+void
+Network::setTraceSink(obs::TraceSink *sink)
+{
+    if (panicHookId_ != 0) {
+        removePanicHook(panicHookId_);
+        panicHookId_ = 0;
+    }
+    traceSink_ = sink;
+    if (sink != nullptr) {
+        panicHookId_ = addPanicHook(
+            [sink] { sink->postMortem(std::cerr); });
+    }
 }
 
 Message &
@@ -90,6 +114,7 @@ Network::noteEstablished(Message &m)
     m.state = MessageState::Streaming;
     stats_.setupLatency.add(
         static_cast<double>(m.established - m.firstAttempt));
+    stats_.setupLatencyHist.add(m.established - m.firstAttempt);
     if (tracing()) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::Hack;
@@ -140,6 +165,10 @@ Network::noteDelivered(Message &m, std::uint32_t path_hops)
     ++stats_.delivered;
     stats_.totalLatency.add(static_cast<double>(m.totalLatency()));
     stats_.pathLength.add(static_cast<double>(path_hops));
+    // Some baselines deliver without a distinct establishment step;
+    // only a real Hack gives the data phase a defined start.
+    if (m.established != 0)
+        stats_.dataPhaseHist.add(m.delivered - m.established);
     if (tracing()) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::Deliver;

@@ -51,6 +51,11 @@ struct NetworkStats
 
     /** Concurrently open circuits (virtual buses). */
     sim::LevelTracker &activeCircuits;
+
+    /** Log-bucketed injection -> established latencies (p50/90/99). */
+    obs::LogHistogram &setupLatencyHist;
+    /** Log-bucketed established -> delivered (data-phase) times. */
+    obs::LogHistogram &dataPhaseHist;
 };
 
 /**
@@ -65,7 +70,7 @@ class Network
 
     Network(sim::Simulator &simulator, std::string name,
             NodeId num_nodes);
-    virtual ~Network() = default;
+    virtual ~Network();
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
@@ -110,9 +115,12 @@ class Network
      * Attach @p sink to receive one TraceEvent per protocol action
      * (nullptr detaches).  The sink is borrowed, not owned, and must
      * outlive the network or be detached first; with no sink
-     * attached, emission sites cost a single branch.
+     * attached, emission sites cost a single branch.  While a sink
+     * is attached its postMortem() is registered as a panic hook, so
+     * flight recorders (RingBufferSink) dump their tail to stderr
+     * when an invariant audit fails.
      */
-    void setTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
+    void setTraceSink(obs::TraceSink *sink);
 
     /** The currently attached sink (nullptr when tracing is off). */
     obs::TraceSink *traceSink() const { return traceSink_; }
@@ -189,6 +197,7 @@ class Network
     DeliveryCallback deliveryCallback_;
     DeliveryCallback failureCallback_;
     obs::TraceSink *traceSink_ = nullptr;
+    std::uint64_t panicHookId_ = 0; //!< 0 = no hook registered
 };
 
 } // namespace net

@@ -1,0 +1,148 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace obs {
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    std::size_t index = 1;
+    while (value > 1) {
+        value >>= 1;
+        ++index;
+    }
+    // Values >= 2^63 fold into the top bucket.
+    return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t index)
+{
+    rmb_assert(index < kNumBuckets);
+    if (index == 0)
+        return 0;
+    return std::uint64_t{1} << (index - 1);
+}
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    ++buckets_[bucketIndex(value)];
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+double
+LogHistogram::mean() const
+{
+    if (count_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    p = std::min(1.0, std::max(0.0, p));
+
+    // Nearest-rank: the smallest value with at least ceil(p * count)
+    // samples at or below it (so p99 of 5 samples reaches the 5th).
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    target = std::max<std::uint64_t>(1, std::min(target, count_));
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        std::uint64_t n = buckets_[i];
+        if (n == 0)
+            continue;
+        if (below + n >= target) {
+            // Interpolate within [low, high) by the fraction of the
+            // bucket's samples under the rank, then clamp to the
+            // exact observed range.
+            double low = static_cast<double>(bucketLow(i));
+            double high = i == 0
+                ? 1.0
+                : static_cast<double>(bucketLow(i)) * 2.0;
+            double frac = static_cast<double>(target - below) /
+                          static_cast<double>(n);
+            double value = low + frac * (high - low);
+            value = std::max(value, static_cast<double>(min_));
+            value = std::min(value, static_cast<double>(max_));
+            return value;
+        }
+        below += n;
+    }
+    return static_cast<double>(max_);
+}
+
+namespace {
+
+void
+appendMoment(std::ostringstream &out, const char *name, double v)
+{
+    out << '"' << name << "\":";
+    if (std::isnan(v))
+        out << "null";
+    else
+        out << v;
+}
+
+} // namespace
+
+std::string
+LogHistogram::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"count\":" << count_ << ',';
+    if (count_ == 0) {
+        out << "\"min\":null,\"max\":null,";
+    } else {
+        out << "\"min\":" << min_ << ",\"max\":" << max_ << ',';
+    }
+    appendMoment(out, "mean", mean());
+    out << ',';
+    appendMoment(out, "p50", percentile(0.50));
+    out << ',';
+    appendMoment(out, "p90", percentile(0.90));
+    out << ',';
+    appendMoment(out, "p99", percentile(0.99));
+    out << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            out << ',';
+        first = false;
+        out << '[' << bucketLow(i) << ',' << buckets_[i] << ']';
+    }
+    out << "]}";
+    return out.str();
+}
+
+void
+LogHistogram::reset()
+{
+    *this = LogHistogram();
+}
+
+} // namespace obs
+} // namespace rmb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Log-bucketed latency histogram.
+ *
+ * The moment-based sim::SampleStat keeps every sample to answer
+ * percentile queries exactly, which is fine for a few thousand
+ * latencies but not for per-flit streams.  LogHistogram trades exact
+ * order statistics for O(1) memory: 64 power-of-two buckets plus
+ * exact count/sum/min/max, with percentiles interpolated inside the
+ * containing bucket.  Tick latencies fit comfortably: bucket 63
+ * starts at 2^62 and absorbs everything above it.
+ */
+
+#ifndef RMB_OBS_HISTOGRAM_HH
+#define RMB_OBS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rmb {
+namespace obs {
+
+class LogHistogram
+{
+  public:
+    /** Bucket 0 holds exactly 0; bucket i>=1 holds [2^(i-1), 2^i). */
+    static constexpr std::size_t kNumBuckets = 64;
+
+    /** Index of the bucket containing @p value. */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive lower bound of bucket @p index. */
+    static std::uint64_t bucketLow(std::size_t index);
+
+    void add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    std::uint64_t
+    bucketCount(std::size_t index) const
+    {
+        return buckets_[index];
+    }
+
+    /**
+     * Approximate @p p-th percentile (p in [0, 1]): walk the
+     * cumulative counts to the containing bucket, interpolate
+     * linearly within it, clamp to the exact [min, max] range.
+     * NaN when empty.
+     */
+    double percentile(double p) const;
+
+    /**
+     * One JSON object: {count, min, max, mean, p50, p90, p99,
+     * buckets: [[low, count], ...]} with only non-empty buckets
+     * listed.  Empty histograms render the moments as null.
+     */
+    std::string toJson() const;
+
+    void reset();
+
+  private:
+    std::uint64_t buckets_[kNumBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace obs
+} // namespace rmb
+
+#endif // RMB_OBS_HISTOGRAM_HH

@@ -41,11 +41,22 @@ MetricsRegistry::level(const std::string &name)
     return it->second;
 }
 
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        checkShape(name, "histogram");
+        it = histograms_.emplace(name, LogHistogram{}).first;
+    }
+    return it->second;
+}
+
 bool
 MetricsRegistry::has(const std::string &name) const
 {
     return counters_.count(name) || samplers_.count(name) ||
-           levels_.count(name);
+           levels_.count(name) || histograms_.count(name);
 }
 
 std::vector<std::string>
@@ -58,6 +69,8 @@ MetricsRegistry::names() const
     for (const auto &[name, metric] : samplers_)
         out.push_back(name);
     for (const auto &[name, metric] : levels_)
+        out.push_back(name);
+    for (const auto &[name, metric] : histograms_)
         out.push_back(name);
     std::sort(out.begin(), out.end());
     return out;
@@ -104,6 +117,12 @@ MetricsRegistry::snapshot(sim::Tick now) const
         json.endObject();
     }
     json.endObject();
+    if (!histograms_.empty()) {
+        json.beginObject("histograms");
+        for (const auto &[name, h] : histograms_)
+            json.raw(name, h.toJson());
+        json.endObject();
+    }
     json.endObject();
     return json.str();
 }

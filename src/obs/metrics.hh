@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -93,6 +94,9 @@ class MetricsRegistry
     /** Get or create the level tracker named @p name. */
     sim::LevelTracker &level(const std::string &name);
 
+    /** Get or create the log-bucketed histogram named @p name. */
+    LogHistogram &histogram(const std::string &name);
+
     /** True if a metric of any shape is registered under @p name. */
     bool has(const std::string &name) const;
 
@@ -102,14 +106,18 @@ class MetricsRegistry
     std::size_t
     size() const
     {
-        return counters_.size() + samplers_.size() + levels_.size();
+        return counters_.size() + samplers_.size() + levels_.size() +
+               histograms_.size();
     }
 
     /**
      * Serialise every metric as one JSON object with sub-objects
      * "counters" (name -> integer), "samplers" (name -> moments and
-     * percentiles) and "levels" (name -> current/max/time-weighted
-     * average over [0, @p now]).
+     * percentiles), "levels" (name -> current/max/time-weighted
+     * average over [0, @p now]) and "histograms" (name ->
+     * count/min/max/mean/p50/p90/p99/buckets).  The "histograms"
+     * key is omitted entirely when no histogram is registered, so
+     * pre-existing report consumers see byte-identical snapshots.
      */
     std::string snapshot(sim::Tick now) const;
 
@@ -120,6 +128,7 @@ class MetricsRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, sim::SampleStat> samplers_;
     std::map<std::string, sim::LevelTracker> levels_;
+    std::map<std::string, LogHistogram> histograms_;
 };
 
 } // namespace obs

@@ -1,0 +1,168 @@
+#include "obs/perfetto.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/json.hh"
+
+namespace rmb {
+namespace obs {
+
+namespace {
+
+constexpr int kPidMessages = 1;
+constexpr int kPidSegments = 2;
+constexpr int kPidCompaction = 3;
+
+struct ChromeEvent
+{
+    sim::Tick ts = 0;
+    std::string json;
+};
+
+std::string
+metadataEvent(const char *what, int pid, int tid,
+              const std::string &name, bool process)
+{
+    std::ostringstream out;
+    out << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":"
+        << pid;
+    if (!process)
+        out << ",\"tid\":" << tid;
+    out << ",\"ts\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+        << "\"}}";
+    return out.str();
+}
+
+int
+pidOf(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::SegmentOccupancy:
+      case SpanKind::CompactionMove:
+        return kPidSegments;
+      case SpanKind::IncCycle:
+        return kPidCompaction;
+      default:
+        return kPidMessages;
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Span> &spans,
+                 const std::vector<TraceEvent> &instants)
+{
+    std::vector<ChromeEvent> events;
+    events.reserve(spans.size() + instants.size());
+
+    // Dense, deterministic lane numbering for the segment process:
+    // (gap, level) sorted ascending.
+    std::map<std::pair<std::uint32_t, std::int32_t>, int> lanes;
+    for (const Span &span : spans) {
+        if (pidOf(span.kind) == kPidSegments)
+            lanes.emplace(std::make_pair(span.gap, span.level), 0);
+    }
+    {
+        int next = 0;
+        for (auto &[key, tid] : lanes)
+            tid = next++;
+    }
+
+    std::vector<std::string> metadata;
+    metadata.push_back(
+        metadataEvent("process_name", kPidMessages, 0, "messages",
+                      true));
+    metadata.push_back(
+        metadataEvent("process_name", kPidSegments, 0, "segments",
+                      true));
+    metadata.push_back(
+        metadataEvent("process_name", kPidCompaction, 0,
+                      "compaction", true));
+    for (const auto &[key, tid] : lanes) {
+        std::ostringstream name;
+        name << "gap " << key.first << " level " << key.second;
+        metadata.push_back(metadataEvent("thread_name", kPidSegments,
+                                         tid, name.str(), false));
+    }
+
+    for (const Span &span : spans) {
+        const int pid = pidOf(span.kind);
+        int tid = static_cast<int>(span.node);
+        if (pid == kPidSegments)
+            tid = lanes[std::make_pair(span.gap, span.level)];
+
+        std::ostringstream out;
+        out << "{\"name\":\"" << spanKindName(span.kind)
+            << "\",\"ph\":\"X\",\"ts\":" << span.begin
+            << ",\"dur\":" << span.duration() << ",\"pid\":" << pid
+            << ",\"tid\":" << tid << ",\"args\":{";
+        bool first = true;
+        const auto arg = [&](const char *key, std::uint64_t v) {
+            if (!first)
+                out << ',';
+            first = false;
+            out << '"' << key << "\":" << v;
+        };
+        if (span.message != 0)
+            arg("msg", span.message);
+        if (span.bus != 0)
+            arg("bus", span.bus);
+        if (span.kind == SpanKind::Setup)
+            arg("attempt", span.a);
+        else if (span.kind == SpanKind::Teardown)
+            arg("teardown_kind", span.a);
+        else if (span.kind == SpanKind::CompactionMove)
+            arg("to_level", span.a);
+        else if (span.kind == SpanKind::IncCycle)
+            arg("cycle", span.a);
+        if (span.open)
+            arg("open_at_end", 1);
+        if (span.severed)
+            arg("severed", 1);
+        if (span.refused)
+            arg("refused", 1);
+        out << "}}";
+        events.push_back(ChromeEvent{span.begin, out.str()});
+    }
+
+    for (const TraceEvent &e : instants) {
+        std::ostringstream out;
+        out << "{\"name\":\"" << eventKindName(e.kind)
+            << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.at
+            << ",\"pid\":" << kPidMessages << ",\"tid\":" << e.node
+            << ",\"args\":{\"msg\":" << e.message << ",\"a\":" << e.a
+            << "}}";
+        events.push_back(ChromeEvent{e.at, out.str()});
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ChromeEvent &a, const ChromeEvent &b) {
+                         return a.ts < b.ts;
+                     });
+
+    os << '[';
+    bool first = true;
+    for (const std::string &m : metadata) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n' << m;
+    }
+    for (const ChromeEvent &e : events) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n' << e.json;
+    }
+    os << "\n]\n";
+}
+
+} // namespace obs
+} // namespace rmb

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chrome-trace-format (Trace Event JSON) export of reconstructed
+ * spans, loadable in chrome://tracing and Perfetto's legacy
+ * importer.
+ *
+ * The layout maps the RMB onto trace "processes":
+ *  - pid 1 "messages": one thread per node; Setup / Streaming /
+ *    Backoff / Blocked / Teardown spans plus the instant markers
+ *    (Nack, SegmentFail, WatchdogFire, ...),
+ *  - pid 2 "segments": one thread per (gap, level) lane;
+ *    SegmentOccupancy and CompactionMove spans,
+ *  - pid 3 "compaction": one thread per INC; IncCycle spans.
+ *
+ * Durations are emitted as complete ("X") events with ts/dur in
+ * microseconds, 1 tick == 1 us, sorted by ts so the file satisfies
+ * the monotonic-timestamp expectation of strict validators.
+ */
+
+#ifndef RMB_OBS_PERFETTO_HH
+#define RMB_OBS_PERFETTO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/span.hh"
+#include "obs/trace.hh"
+
+namespace rmb {
+namespace obs {
+
+/** Render @p spans and @p instants as one Chrome-trace JSON array. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<Span> &spans,
+                      const std::vector<TraceEvent> &instants);
+
+} // namespace obs
+} // namespace rmb
+
+#endif // RMB_OBS_PERFETTO_HH

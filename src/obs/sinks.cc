@@ -54,6 +54,15 @@ RingBufferSink::dump(std::ostream &os) const
         os << toJsonLine(event) << '\n';
 }
 
+void
+RingBufferSink::postMortem(std::ostream &os) const
+{
+    os << "=== trace flight recorder: last " << buffer_.size()
+       << " of " << seen_ << " events ===\n";
+    for (const TraceEvent &event : events())
+        os << formatEvent(event) << '\n';
+}
+
 JsonlFileSink::JsonlFileSink(const std::string &path)
     : path_(path), out_(path)
 {

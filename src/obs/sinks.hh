@@ -89,11 +89,55 @@ class RingBufferSink final : public TraceSink
     /** Render the retained events as JSONL, oldest first. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Flight-recorder dump: the retained tail as human-readable
+     * lines (obs::formatEvent), oldest first, with a header giving
+     * the seen/retained counts.  Wired into the panic path by
+     * net::Network::setTraceSink.
+     */
+    void postMortem(std::ostream &os) const override;
+
   private:
     std::size_t capacity_;
     std::vector<TraceEvent> buffer_;
     std::size_t next_ = 0;
     std::uint64_t seen_ = 0;
+};
+
+/**
+ * Sink fanning every event out to two downstream sinks (either may
+ * be nullptr).  Lets a run keep a CountingSink attached alongside a
+ * JsonlFileSink without the network knowing.  postMortem() forwards
+ * to both, first sink first.
+ */
+class TeeSink final : public TraceSink
+{
+  public:
+    TeeSink(TraceSink *first, TraceSink *second)
+        : first_(first), second_(second)
+    {}
+
+    void
+    onEvent(const TraceEvent &event) override
+    {
+        if (first_)
+            first_->onEvent(event);
+        if (second_)
+            second_->onEvent(event);
+    }
+
+    void
+    postMortem(std::ostream &os) const override
+    {
+        if (first_)
+            first_->postMortem(os);
+        if (second_)
+            second_->postMortem(os);
+    }
+
+  private:
+    TraceSink *first_;
+    TraceSink *second_;
 };
 
 /**

@@ -1,0 +1,83 @@
+#include "obs/timeline.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace rmb {
+namespace obs {
+
+TimelineSampler::TimelineSampler(sim::Simulator &simulator,
+                                 sim::Tick period)
+    : simulator_(simulator), period_(period)
+{
+    rmb_assert(period_ >= 1, "timeline period must be >= 1 tick");
+}
+
+void
+TimelineSampler::addSeries(const std::string &name,
+                           std::function<double()> fn)
+{
+    rmb_assert(ticks_.empty(),
+               "addSeries after sampling started");
+    series_.emplace_back(name, std::move(fn));
+    values_.emplace_back();
+}
+
+void
+TimelineSampler::setStopWhen(std::function<bool()> done)
+{
+    stopWhen_ = std::move(done);
+}
+
+void
+TimelineSampler::start()
+{
+    rmb_assert(stopWhen_,
+               "TimelineSampler needs a stop predicate before"
+               " start(): an unconditional sampler keeps the event"
+               " queue alive forever");
+    simulator_.schedule(period_, [this] { sample(); });
+}
+
+void
+TimelineSampler::sample()
+{
+    ticks_.push_back(simulator_.now());
+    for (std::size_t i = 0; i < series_.size(); ++i)
+        values_[i].push_back(series_[i].second());
+    if (!stopWhen_())
+        simulator_.schedule(period_, [this] { sample(); });
+}
+
+std::string
+TimelineSampler::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("period", static_cast<std::uint64_t>(period_));
+    json.beginArray("ticks");
+    for (sim::Tick t : ticks_) {
+        std::ostringstream v;
+        v << t;
+        json.elementRaw(v.str());
+    }
+    json.endArray();
+    json.beginObject("series");
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        json.beginArray(series_[i].first);
+        for (double v : values_[i]) {
+            std::ostringstream out;
+            out << v;
+            json.elementRaw(out.str());
+        }
+        json.endArray();
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace obs
+} // namespace rmb

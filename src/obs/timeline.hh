@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Periodic timeline sampler.
+ *
+ * End-of-run averages hide saturation onset; the sampler snapshots a
+ * set of named probes every `period` ticks into parallel arrays that
+ * a RunReport embeds as a "timeline" section.  Sampling rides the
+ * DES event queue itself (so samples interleave deterministically
+ * with protocol events and never touch any RNG), which means the
+ * sampler must know when to stop rescheduling or it would keep the
+ * simulation alive forever: the stop predicate is checked after
+ * every sample.
+ */
+
+#ifndef RMB_OBS_TIMELINE_HH
+#define RMB_OBS_TIMELINE_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace rmb {
+namespace obs {
+
+class TimelineSampler
+{
+  public:
+    /** Sample every @p period ticks (must be >= 1). */
+    TimelineSampler(sim::Simulator &simulator, sim::Tick period);
+
+    TimelineSampler(const TimelineSampler &) = delete;
+    TimelineSampler &operator=(const TimelineSampler &) = delete;
+
+    /** Register probe @p fn under @p name; call before start(). */
+    void addSeries(const std::string &name,
+                   std::function<double()> fn);
+
+    /**
+     * Stop rescheduling once @p done returns true at a sample point
+     * (the final sample is still taken).  Without one, sampling
+     * continues forever and a drain-the-queue run never ends.
+     */
+    void setStopWhen(std::function<bool()> done);
+
+    /** Schedule the first sample, `period` ticks from now. */
+    void start();
+
+    std::size_t sampleCount() const { return ticks_.size(); }
+
+    /**
+     * {"period":N,"ticks":[...],"series":{name:[...]}} - parallel
+     * arrays, one value per series per sample.
+     */
+    std::string toJson() const;
+
+  private:
+    void sample();
+
+    sim::Simulator &simulator_;
+    sim::Tick period_;
+    std::function<bool()> stopWhen_;
+    std::vector<std::pair<std::string, std::function<double()>>>
+        series_;
+    std::vector<sim::Tick> ticks_;
+    std::vector<std::vector<double>> values_; //!< per series
+};
+
+} // namespace obs
+} // namespace rmb
+
+#endif // RMB_OBS_TIMELINE_HH

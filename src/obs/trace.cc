@@ -32,8 +32,22 @@ eventKindName(EventKind kind)
       case EventKind::BusSevered: return "bus_severed";
       case EventKind::MessageRecovered: return "message_recovered";
       case EventKind::WatchdogFire: return "watchdog_fire";
+      case EventKind::SegmentFree: return "segment_free";
     }
     panic("unknown EventKind ", static_cast<int>(kind));
+}
+
+bool
+eventKindFromName(const std::string &name, EventKind &out)
+{
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+        EventKind kind = static_cast<EventKind>(k);
+        if (name == eventKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string
@@ -51,6 +65,25 @@ toJsonLine(const TraceEvent &event)
         << ",\"level\":" << event.level
         << ",\"a\":" << event.a
         << ",\"b\":" << event.b << '}';
+    return out.str();
+}
+
+std::string
+formatEvent(const TraceEvent &event)
+{
+    std::ostringstream out;
+    out << '[' << event.at << "] " << eventKindName(event.kind);
+    if (event.message != 0)
+        out << " msg=" << event.message;
+    if (event.bus != 0)
+        out << " bus=" << event.bus;
+    out << " node=" << event.node;
+    if (event.level >= 0)
+        out << " gap=" << event.gap << " level=" << event.level;
+    if (event.a != 0 || event.b != 0)
+        out << " a=" << event.a;
+    if (event.b != 0)
+        out << " b=" << event.b;
     return out.str();
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "sim/types.hh"
@@ -52,11 +53,12 @@ enum class EventKind : std::uint8_t
     BusSevered,      //!< live bus lost a segment; a = SeverReason
     MessageRecovered, //!< delivery after >= 1 sever (a = latency)
     WatchdogFire,    //!< source watchdog expired on a silent bus
+    SegmentFree,     //!< segment (gap, level) released (a = reason)
 };
 
 /** Number of EventKind values (for per-kind counters). */
 constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::WatchdogFire) + 1;
+    static_cast<std::size_t>(EventKind::SegmentFree) + 1;
 
 /** Reason codes carried in the `a` field of a Nack event. */
 enum NackReason : std::uint64_t
@@ -81,8 +83,23 @@ enum SeverReason : std::uint64_t
     kSeverWatchdog = 1, //!< the source watchdog saw no progress
 };
 
+/** Reason codes carried in the `a` field of a SegmentFree event. */
+enum SegmentFreeReason : std::uint64_t
+{
+    kFreeTeardown = 0,   //!< released by a teardown wave
+    kFreeCompaction = 1, //!< old level freed by a break step
+    kFreeMoveCancel = 2, //!< half-made move abandoned (fault path)
+};
+
 /** Stable lower_snake name of @p kind (used in the JSONL output). */
 const char *eventKindName(EventKind kind);
+
+/**
+ * Reverse of eventKindName: parse @p name into @p out.  Returns
+ * false (leaving @p out untouched) when the name is unknown, so
+ * offline readers can reject malformed traces without panicking.
+ */
+bool eventKindFromName(const std::string &name, EventKind &out);
 
 /**
  * One traced protocol action.  Fields that do not apply to a kind
@@ -106,6 +123,12 @@ struct TraceEvent
 std::string toJsonLine(const TraceEvent &event);
 
 /**
+ * Render @p event as a human-readable one-liner for post-mortem
+ * dumps: aligned tick, kind, and only the fields that apply.
+ */
+std::string formatEvent(const TraceEvent &event);
+
+/**
  * Receiver of trace events.  Implementations must not re-enter the
  * emitting network; they see events in emission order, which is the
  * DES execution order.
@@ -117,6 +140,14 @@ class TraceSink
 
     /** Handle one event; called synchronously at emission time. */
     virtual void onEvent(const TraceEvent &event) = 0;
+
+    /**
+     * Write whatever post-mortem context the sink holds to @p os.
+     * Called from the panic path when the network this sink is
+     * attached to trips an invariant; the default has nothing to
+     * say.  Implementations must not allocate unboundedly or panic.
+     */
+    virtual void postMortem(std::ostream &os) const { (void)os; }
 };
 
 } // namespace obs

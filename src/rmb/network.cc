@@ -65,6 +65,8 @@ RmbStats::RmbStats(obs::MetricsRegistry &registry)
           registry.sampler("rmb.top_release_latency")),
       recoveryLatency(
           registry.sampler("rmb.faults.recovery_latency")),
+      recoveryLatencyHist(
+          registry.histogram("rmb.hist.recovery_latency")),
       multicastMemberLatency(
           registry.sampler("rmb.multicast.member_latency")),
       blockedTime(registry.sampler("rmb.blocked.time")),
@@ -691,6 +693,8 @@ RmbNetwork::finalFlitArrive(VirtualBusId bus_id)
         ++rmbStats_.messagesRecovered;
         rmbStats_.recoveryLatency.add(
             static_cast<double>(simulator().now() - sev->second));
+        rmbStats_.recoveryLatencyHist.add(
+            simulator().now() - sev->second);
         if (tracing()) {
             obs::TraceEvent e = busEvent(
                 obs::EventKind::MessageRecovered, bus, bus.dst);
@@ -737,8 +741,9 @@ RmbNetwork::teardownStep(VirtualBusId bus_id)
 
     if (!bus.hops.empty()) {
         if (hop.inMove())
-            releaseSegment(bus, hop.gap, hop.dualLevel);
-        releaseSegment(bus, hop.gap, hop.level);
+            releaseSegment(bus, hop.gap, hop.dualLevel,
+                           obs::kFreeTeardown);
+        releaseSegment(bus, hop.gap, hop.level, obs::kFreeTeardown);
         simulator().schedule(config_.ackHopDelay, [this, bus_id] {
             teardownStep(bus_id);
         });
@@ -794,15 +799,28 @@ RmbNetwork::busFinished(VirtualBusId bus_id, const Hop &last_hop)
         rmbStats_.topReleaseLatency.add(
             static_cast<double>(now - injected_at));
     }
-    if (last_hop.inMove()) {
-        segments_.release(last_hop.gap, last_hop.dualLevel, bus_id,
-                          now);
-        if (!segments_.isFaulty(last_hop.gap, last_hop.dualLevel))
-            segmentFreed(last_hop.gap, last_hop.dualLevel);
-    }
-    segments_.release(last_hop.gap, last_hop.level, bus_id, now);
-    if (!segments_.isFaulty(last_hop.gap, last_hop.level))
-        segmentFreed(last_hop.gap, last_hop.level);
+    // The bus record is already gone, so the SegmentFree events are
+    // assembled from the captured ids rather than via busEvent().
+    const auto lastFree = [&](GapId gap, Level level) {
+        segments_.release(gap, level, bus_id, now);
+        if (tracing()) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::SegmentFree;
+            e.at = now;
+            e.message = mid;
+            e.bus = bus_id;
+            e.node = gap;
+            e.gap = gap;
+            e.level = level;
+            e.a = obs::kFreeTeardown;
+            emitTrace(e);
+        }
+        if (!segments_.isFaulty(gap, level))
+            segmentFreed(gap, level);
+    };
+    if (last_hop.inMove())
+        lastFree(last_hop.gap, last_hop.dualLevel);
+    lastFree(last_hop.gap, last_hop.level);
     tryInject(src);
     checkAfterMutation();
 }
@@ -840,9 +858,24 @@ RmbNetwork::scheduleRetry(net::NodeId node, net::MessageId msg)
 }
 
 void
-RmbNetwork::releaseSegment(VirtualBus &bus, GapId gap, Level level)
+RmbNetwork::noteSegmentFree(const VirtualBus &bus, GapId gap,
+                            Level level,
+                            obs::SegmentFreeReason reason)
+{
+    if (!tracing())
+        return;
+    obs::TraceEvent e = busEvent(obs::EventKind::SegmentFree, bus,
+                                 gap, gap, level);
+    e.a = reason;
+    emitTrace(e);
+}
+
+void
+RmbNetwork::releaseSegment(VirtualBus &bus, GapId gap, Level level,
+                           obs::SegmentFreeReason reason)
 {
     segments_.release(gap, level, bus.id, simulator().now());
+    noteSegmentFree(bus, gap, level, reason);
     if (!bus.topReleased && gap == bus.srcGap() &&
         level == static_cast<Level>(config_.numBuses) - 1) {
         bus.topReleased = true;
@@ -1005,7 +1038,8 @@ RmbNetwork::breakMoves(const std::vector<MoveRecord> &records)
             e.a = static_cast<std::uint64_t>(r.fromLevel);
             emitTrace(e);
         }
-        releaseSegment(bus, r.gap, r.fromLevel);
+        releaseSegment(bus, r.gap, r.fromLevel,
+                       obs::kFreeCompaction);
 
         // A blocked header whose input hop just moved down may now
         // reach a lower (free) output level.
@@ -1089,6 +1123,7 @@ RmbNetwork::severOccupant(GapId gap, Level level,
         // break step: cancel the move and stay on the (live) old
         // level.  The pending break record goes stale via inMove().
         segments_.release(gap, level, bus_id, simulator().now());
+        noteSegmentFree(bus, gap, level, obs::kFreeMoveCancel);
         hop.dualLevel = kNoLevel;
         return;
     }
@@ -1097,6 +1132,7 @@ RmbNetwork::severOccupant(GapId gap, Level level,
         // means the lower segment already carries the signal, so
         // complete the move early instead of severing.
         segments_.release(gap, level, bus_id, simulator().now());
+        noteSegmentFree(bus, gap, level, obs::kFreeMoveCancel);
         hop.level = hop.dualLevel;
         hop.dualLevel = kNoLevel;
         ++rmbStats_.compactionMoves;

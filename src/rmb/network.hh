@@ -85,6 +85,8 @@ struct RmbStats
 
     /** First sever -> eventual delivery, per recovered message. */
     sim::SampleStat &recoveryLatency;
+    /** Log-bucketed recovery latencies (p50/90/99 in reports). */
+    obs::LogHistogram &recoveryLatencyHist;
 
     /** Creation -> per-member delivery over all multicast members. */
     sim::SampleStat &multicastMemberLatency;
@@ -269,8 +271,14 @@ class RmbNetwork : public net::Network
     void onHeaderTimeout(VirtualBusId bus_id, sim::Tick since);
 
     /** Free one segment and dispatch wakeups. */
-    void releaseSegment(VirtualBus &bus, GapId gap, Level level);
+    void releaseSegment(VirtualBus &bus, GapId gap, Level level,
+                        obs::SegmentFreeReason reason);
     void segmentFreed(GapId gap, Level level);
+
+    /** Emit a SegmentFree trace event (no-op when not tracing). */
+    void noteSegmentFree(const VirtualBus &bus, GapId gap,
+                         Level level,
+                         obs::SegmentFreeReason reason);
 
     /** Output levels reachable from the head hop of @p bus. */
     std::vector<Level> reachableLevels(const VirtualBus &bus) const;

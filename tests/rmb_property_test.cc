@@ -14,6 +14,7 @@
 
 #include "common/bitutils.hh"
 
+#include "obs/sinks.hh"
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
 #include "workload/driver.hh"
@@ -46,7 +47,12 @@ TEST_P(RmbSweep, RandomPermutationCompletesAndInvariantsHold)
 {
     const auto [n, k, seed] = GetParam();
     sim::Simulator s;
+    // Flight recorder: an auditInvariants panic in this sweep dumps
+    // the last protocol events to stderr (declared before the
+    // network so it outlives the panic-hook registration).
+    obs::RingBufferSink recorder(256);
     RmbNetwork net(s, config());
+    net.setTraceSink(&recorder);
     sim::Random rng(seed * 1000 + 17);
     const auto pairs =
         workload::toPairs(workload::randomFullTraffic(n, rng));

@@ -12,6 +12,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/sinks.hh"
 #include "rmb/network.hh"
 #include "sim/simulator.hh"
 #include "workload/driver.hh"
@@ -49,7 +50,12 @@ TEST_P(SoakMatrix, MixedWorkloadSurvivesFullAudit)
     if (blocking == BlockingPolicy::Wait)
         cfg.headerTimeout = 400;
     cfg.verify = VerifyLevel::Full;
+    // Flight recorder: if any audit panics mid-soak, the last 256
+    // protocol events land on stderr via the panic hook.  Declared
+    // before the network so it outlives the hook registration.
+    obs::RingBufferSink recorder(256);
     RmbNetwork net(s, cfg);
+    net.setTraceSink(&recorder);
 
     // A scattered fault that both header policies can route around
     // (only one level of the gap dies).
@@ -112,7 +118,11 @@ TEST(FaultChurnSoak, SustainedLoadSurvivesFaultChurn)
     cfg.watchdogTimeout = 800;
     cfg.maxRetries = 60;
     cfg.verify = VerifyLevel::Full;
+    // Flight recorder for the fault-churn path: a watchdog or audit
+    // panic dumps the recent event tail instead of dying silently.
+    obs::RingBufferSink recorder(256);
     RmbNetwork net(s, cfg);
+    net.setTraceSink(&recorder);
 
     sim::Random rng(41);
     std::vector<net::MessageId> ids;

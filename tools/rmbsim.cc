@@ -35,8 +35,10 @@
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/json.hh"
 #include "obs/run_report.hh"
 #include "obs/sinks.hh"
+#include "obs/timeline.hh"
 #include "rmb/dual_ring.hh"
 #include "rmb/grid.hh"
 #include "rmb/network.hh"
@@ -85,6 +87,8 @@ struct Options
     std::string jsonPath;
     /** --trace FILE: stream every protocol event there as JSONL. */
     std::string tracePath;
+    /** --timeline T: sample period in ticks; 0 = duration/100. */
+    sim::Tick timeline = 0;
     bool heatmap = false;
 };
 
@@ -119,6 +123,8 @@ usage(int code = 2)
            "  --record FILE | --replay FILE\n"
            "  --csv | --json [FILE] | --heatmap\n"
            "  --trace FILE               (JSONL protocol events)\n"
+           "  --timeline T               (report sample period,\n"
+           "                              default duration/100)\n"
            "  --help | -h\n";
     std::exit(code);
 }
@@ -204,6 +210,8 @@ parse(int argc, char **argv)
                 o.jsonPath = argv[++i];
         } else if (arg == "--trace") {
             o.tracePath = need(i);
+        } else if (arg == "--timeline") {
+            o.timeline = std::stoull(need(i));
         } else if (arg == "--heatmap") {
             o.heatmap = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -359,9 +367,27 @@ stochasticWorkload(const Options &o, net::NodeId n)
     return nullptr;
 }
 
+/** Fixed-schema per-kind event tallies for the report. */
+std::string
+traceCountsJson(const obs::CountingSink &counts)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.beginObject("events");
+    for (std::size_t k = 0; k < obs::kNumEventKinds; ++k) {
+        const auto kind = static_cast<obs::EventKind>(k);
+        json.field(obs::eventKindName(kind), counts.count(kind));
+    }
+    json.endObject();
+    json.field("total", counts.total());
+    json.endObject();
+    return json.str();
+}
+
 void
 writeReport(const Options &o, const net::Network &network,
-            sim::Tick now)
+            sim::Tick now, const obs::CountingSink *counts,
+            const obs::TimelineSampler *timeline)
 {
     obs::RunReport report("rmbsim");
     report.set("network", o.network);
@@ -372,15 +398,21 @@ writeReport(const Options &o, const net::Network &network,
     report.set("ticks", static_cast<std::uint64_t>(now));
     report.setRaw("stats", report::statsToJson(network, now));
     report.setRaw("metrics", network.metrics().snapshot(now));
+    if (counts != nullptr)
+        report.setRaw("trace", traceCountsJson(*counts));
+    if (timeline != nullptr)
+        report.setRaw("timeline", timeline->toJson());
     report.write(o.jsonPath);
 }
 
 void
 printStats(const Options &o, const net::Network &network,
-           sim::Tick now)
+           sim::Tick now,
+           const obs::CountingSink *counts = nullptr,
+           const obs::TimelineSampler *timeline = nullptr)
 {
     if (!o.jsonPath.empty())
-        writeReport(o, network, now);
+        writeReport(o, network, now, counts, timeline);
     if (o.json && o.jsonPath.empty()) {
         std::cout << report::statsToJson(network, now) << "\n";
         if (!o.heatmap)
@@ -442,12 +474,74 @@ main(int argc, char **argv)
 
     sim::Simulator simulator;
     auto network = makeNetwork(o, simulator);
-    std::unique_ptr<obs::JsonlFileSink> traceSink;
+
+    // Sink stack: --trace streams JSONL; a JSON report additionally
+    // keeps per-kind counters (the report's "trace" section).  Both
+    // are pure observers, so attaching them never perturbs the run.
+    std::unique_ptr<obs::JsonlFileSink> fileSink;
+    obs::CountingSink counting;
+    std::unique_ptr<obs::TeeSink> tee;
+    obs::TraceSink *sink = nullptr;
+    const obs::CountingSink *counts = nullptr;
     if (!o.tracePath.empty()) {
-        traceSink =
-            std::make_unique<obs::JsonlFileSink>(o.tracePath);
-        network->setTraceSink(traceSink.get());
+        fileSink = std::make_unique<obs::JsonlFileSink>(o.tracePath);
+        sink = fileSink.get();
     }
+    if (!o.jsonPath.empty()) {
+        counts = &counting;
+        if (sink != nullptr) {
+            tee = std::make_unique<obs::TeeSink>(&counting,
+                                                 fileSink.get());
+            sink = tee.get();
+        } else {
+            sink = &counting;
+        }
+    }
+    if (sink != nullptr)
+        network->setTraceSink(sink);
+
+    // Timeline sampling for the report: bus/circuit occupancy every
+    // `period` ticks until the run has passed `minEnd` and drained.
+    std::unique_ptr<obs::TimelineSampler> timeline;
+    const auto startTimeline = [&](sim::Tick minEnd) {
+        if (o.jsonPath.empty())
+            return;
+        sim::Tick period = o.timeline;
+        if (period == 0)
+            period = o.duration / 100 ? o.duration / 100 : 1;
+        timeline = std::make_unique<obs::TimelineSampler>(simulator,
+                                                          period);
+        net::Network *net = network.get();
+        timeline->addSeries("injected", [net] {
+            return static_cast<double>(net->stats().injected);
+        });
+        timeline->addSeries("delivered", [net] {
+            return static_cast<double>(net->stats().delivered);
+        });
+        timeline->addSeries("active_circuits", [net] {
+            return static_cast<double>(
+                net->stats().activeCircuits.current());
+        });
+        if (const auto *rmb =
+                dynamic_cast<const core::RmbNetwork *>(net)) {
+            const double segs =
+                static_cast<double>(rmb->config().numNodes) *
+                static_cast<double>(rmb->config().numBuses);
+            timeline->addSeries("live_buses", [rmb] {
+                return static_cast<double>(
+                    rmb->rmbStats().liveBuses.current());
+            });
+            timeline->addSeries("segment_occupancy", [rmb, segs] {
+                return static_cast<double>(
+                           rmb->segments().occupiedCount()) /
+                       segs;
+            });
+        }
+        timeline->setStopWhen([net, &simulator, minEnd] {
+            return simulator.now() >= minEnd && net->quiescent();
+        });
+        timeline->start();
+    };
     sim::Random rng(o.seed);
 
     if (!o.replay.empty()) {
@@ -455,17 +549,20 @@ main(int argc, char **argv)
         if (!in)
             fatal("cannot open trace '", o.replay, "'");
         const auto trace = workload::readTrace(in);
+        startTimeline(trace.empty() ? 0 : trace.back().time);
         const auto r = workload::replayTrace(*network, trace);
         std::cout << "replayed " << r.injected << " events: "
                   << r.delivered << " delivered, " << r.failed
                   << " failed, makespan " << r.makespan
                   << ", mean latency " << r.meanLatency << "\n";
-        printStats(o, *network, simulator.now());
+        printStats(o, *network, simulator.now(), counts,
+                   timeline.get());
         return 0;
     }
 
     const auto pairs = batchWorkload(o, network->numNodes(), rng);
     if (!pairs.empty()) {
+        startTimeline(0);
         const auto r =
             workload::runBatch(*network, pairs, o.payload);
         std::cout << (r.completed ? "batch completed"
@@ -479,7 +576,8 @@ main(int argc, char **argv)
             std::ofstream out(o.record);
             workload::writeTrace(out, trace);
         }
-        printStats(o, *network, simulator.now());
+        printStats(o, *network, simulator.now(), counts,
+                   timeline.get());
         return 0;
     }
 
@@ -495,19 +593,23 @@ main(int argc, char **argv)
                 fatal("cannot write trace '", o.record, "'");
             workload::writeTrace(out, trace);
         }
+        startTimeline(trace.empty() ? 0 : trace.back().time);
         const auto r = workload::replayTrace(*network, trace);
         std::cout << "recorded " << trace.size() << " events to "
                   << o.record << "; replayed locally: "
                   << r.delivered << " delivered\n";
-        printStats(o, *network, simulator.now());
+        printStats(o, *network, simulator.now(), counts,
+                   timeline.get());
         return 0;
     }
+    startTimeline(o.duration);
     const auto r = workload::runOpenLoop(
         *network, *pattern, o.rate, o.payload, o.duration, rng,
         o.duration / 10);
     std::cout << "open loop: offered " << r.offeredLoad
               << " msgs/node/tick, throughput " << r.throughput
               << ", mean latency " << r.meanLatency << "\n";
-    printStats(o, *network, simulator.now());
+    printStats(o, *network, simulator.now(), counts,
+               timeline.get());
     return 0;
 }
