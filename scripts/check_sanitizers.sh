@@ -4,9 +4,14 @@
 # sanitizer recovery - any finding fails the run).  The suite
 # includes the fault-churn soak and the transient-fault tests, so
 # the sever/teardown/watchdog paths get exercised under ASan too.
+# Job counts honour the environment instead of hard-coding nproc:
+#   NPROC                - build parallelism   (default: nproc)
+#   CTEST_PARALLEL_LEVEL - test parallelism    (default: NPROC)
 # Usage: scripts/check_sanitizers.sh [extra ctest args...]
 set -e
 cd "$(dirname "$0")/.."
+jobs="${NPROC:-$(nproc)}"
+ctest_jobs="${CTEST_PARALLEL_LEVEL:-$jobs}"
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" "$@"
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$ctest_jobs" "$@"

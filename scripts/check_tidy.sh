@@ -1,0 +1,40 @@
+#!/bin/sh
+# Run clang-tidy (config: the repo-root .clang-tidy) over the given
+# source files, or over the protocol core when none are given.
+#
+# Exits 77 - the CTest SKIP_RETURN_CODE - when no clang-tidy binary
+# exists, so environments without the LLVM toolchain skip instead of
+# fail; never a silent pass.  Set RMB_TIDY_STRICT=1 to promote all
+# warnings to errors.
+# Usage: scripts/check_tidy.sh [file.cc...]
+set -e
+cd "$(dirname "$0")/.."
+
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+        tidy="$cand"
+        break
+    fi
+done
+if [ -z "$tidy" ]; then
+    echo "check_tidy: no clang-tidy binary found; skipping (77)" >&2
+    exit 77
+fi
+
+# clang-tidy needs a compilation database; the default build exports
+# one (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level CMakeLists).
+if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -S . >/dev/null
+fi
+
+strict=""
+[ "${RMB_TIDY_STRICT:-0}" = "1" ] && strict="--warnings-as-errors=*"
+
+files="$*"
+[ -z "$files" ] && files="src/rmb/status_register.cc \
+    src/rmb/cycle_fsm.cc src/check/explorer.cc"
+
+# shellcheck disable=SC2086
+exec "$tidy" -p build --quiet $strict $files

@@ -7,8 +7,10 @@ set -e
 cd "$(dirname "$0")/.."
 FAST=""
 [ "$1" = "--fast" ] && FAST="--fast"
+jobs="${NPROC:-$(nproc)}"
+ctest_jobs="${CTEST_PARALLEL_LEVEL:-$jobs}"
 cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake --build build -j "$jobs"
+ctest --test-dir build -j "$ctest_jobs" 2>&1 | tee test_output.txt
 ( for b in build/bench/*; do echo "### $b"; "$b" $FAST; echo; done ) \
     2>&1 | tee bench_output.txt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Common vocabulary of the bounded explicit-state model checker
+ * (docs/MODELCHECK.md, tools/rmbcheck).
+ *
+ * The checker composes the *pure* protocol rules the simulator runs -
+ * core::stepCycle, core::reachableOutputLevels, core::hopMovableRule,
+ * core::statusLegal - into a ring of N INCs by k segments and
+ * enumerates every reachable state under asynchronous interleaving.
+ * Two models cover the protocol's two layers:
+ *
+ *   CycleModel (cycle_model.hh) - the section-2.5 odd/even handshake
+ *       ring; proves Lemma 1's skew bound, deadlock freedom and
+ *       per-INC progress.
+ *   NetModel (net_model.hh) - virtual buses, header advance,
+ *       make-before-break compaction; proves Table-1 legality of
+ *       every derived status register, that dual codes appear only
+ *       mid-move, that no move severs a bus, and that pending
+ *       requests can always still be granted.
+ *
+ * States are canonicalized under ring rotation before hashing, so the
+ * checker explores one representative per orbit; every transition
+ * remembers the rotation it applied, which the liveness analysis
+ * needs to keep INC-indexed progress bits aligned across frames.
+ */
+
+#ifndef RMB_CHECK_CHECK_HH
+#define RMB_CHECK_CHECK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rmb/compaction_rules.hh"
+#include "rmb/cycle_fsm.hh"
+#include "rmb/types.hh"
+
+namespace rmb {
+namespace check {
+
+/** Largest ring the fixed-size state arrays accept. */
+constexpr std::uint32_t kMaxCheckNodes = 8;
+
+/** Parameters of one model-checking run. */
+struct CheckConfig
+{
+    /** Ring size N; the checker supports 2..8. */
+    std::uint32_t nodes = 4;
+
+    /** Segments per gap k (level k-1 is the top/injection bus). */
+    std::uint32_t buses = 3;
+
+    /** Concurrent message slots in the datapath model (1..4). */
+    std::uint32_t messages = 2;
+
+    /** Header level preference, as in the simulator. */
+    core::HeaderPolicy headerPolicy = core::HeaderPolicy::PreferLowest;
+
+    /** Section-2.5 rule reading (--mutate oc-rule-bodytext etc.). */
+    core::CycleRuleVariant cycleVariant =
+        core::CycleRuleVariant::Figure10;
+
+    /** Figure-7 move-rule reading (--mutate move-ignore-neighbors). */
+    core::MoveRuleVariant moveVariant = core::MoveRuleVariant::Figure7;
+
+    /** Abort (exit TRUNCATED) past this many stored states. */
+    std::size_t maxStates = 1000 * 1000;
+};
+
+/** One invariant or liveness failure, plus its prose explanation. */
+struct Violation
+{
+    /** Stable machine-readable tag, e.g. "lemma1-skew", "deadlock". */
+    std::string kind;
+
+    /** Human-readable one-paragraph description. */
+    std::string message;
+};
+
+/** One outgoing transition of a state, in canonical form. */
+struct Succ
+{
+    /** Canonical encoding of the successor state. */
+    std::string enc;
+
+    /**
+     * Liveness goals this transition itself achieves, as a bitmask in
+     * the *source* state's frame (CycleModel: bit i = INC i completed
+     * a cycle; NetModel: bit s = slot s's request was granted).
+     */
+    std::uint16_t progress = 0;
+
+    /**
+     * Rotation r the canonicalization applied: index j in the
+     * successor's canonical frame is index (j + r) mod N in the
+     * source state's frame.
+     */
+    std::uint8_t rot = 0;
+};
+
+/**
+ * A protocol layer presented to the explorer: states are opaque
+ * encodings (any encoding a Model hands out can be decoded again, so
+ * the explorer and the trace renderer never see the concrete
+ * structs).
+ */
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    /** Canonical encoding of the initial state. */
+    virtual std::string initial() const = 0;
+
+    /**
+     * Expand @p enc (canonical or not) into its successor states in a
+     * deterministic order.  @p labels, when given, receives one
+     * human-readable action description per successor; @p raws, when
+     * given, receives each successor's *pre-canonicalization*
+     * encoding (same frame as @p enc) for trace rendering.
+     */
+    virtual void successors(const std::string &enc,
+                            std::vector<Succ> &out,
+                            std::vector<std::string> *labels = nullptr,
+                            std::vector<std::string> *raws =
+                                nullptr) const = 0;
+
+    /** Check the safety invariants of one state. */
+    virtual std::optional<Violation>
+    inspect(const std::string &enc) const = 0;
+
+    /**
+     * Liveness obligations of a state: the goal bits that must remain
+     * achievable on some path out of it.
+     */
+    virtual std::uint16_t pendingBits(const std::string &enc) const = 0;
+
+    /** True if goal bits are INC-indexed and rotate with the frame. */
+    virtual bool goalsRotate() const = 0;
+
+    /**
+     * Translate an achievable-goals mask from a successor's canonical
+     * frame into the source frame, given the edge's rotation.
+     */
+    virtual std::uint16_t rotateGoals(std::uint16_t bits,
+                                      unsigned rot) const = 0;
+
+    /** One-line rendering of a state for counterexample traces. */
+    virtual std::string describeState(const std::string &enc) const = 0;
+
+    /** Prose name of liveness goal @p bit ("INC 2 completes ..."). */
+    virtual std::string describeGoal(unsigned bit) const = 0;
+
+    /** Short name of the layer ("cycle" / "datapath") for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace check
+} // namespace rmb
+
+#endif // RMB_CHECK_CHECK_HH

@@ -1,0 +1,225 @@
+#include "check/cycle_model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace check {
+
+namespace {
+
+const char *
+phaseName(core::CyclePhase p)
+{
+    switch (p) {
+      case core::CyclePhase::Moving:
+        return "Moving";
+      case core::CyclePhase::WaitNeighborsDone:
+        return "WaitDone";
+      case core::CyclePhase::WaitNeighborsCycle:
+        return "WaitCycle";
+      case core::CyclePhase::WaitNeighborsClear:
+        return "WaitClear";
+    }
+    return "?";
+}
+
+} // namespace
+
+CycleModel::CycleModel(const CheckConfig &cfg) : cfg_(cfg)
+{
+    rmb_assert(cfg.nodes >= 2 && cfg.nodes <= kMaxCheckNodes,
+               "cycle model supports 2..", kMaxCheckNodes, " nodes");
+}
+
+std::string
+CycleModel::encode(const St &s) const
+{
+    std::string enc(cfg_.nodes, '\0');
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+        enc[i] = static_cast<char>(
+            static_cast<unsigned>(s.phase[i]) |
+            (static_cast<unsigned>(s.id[i]) << 2) |
+            (static_cast<unsigned>(s.rel[i]) << 3));
+    }
+    return enc;
+}
+
+CycleModel::St
+CycleModel::decode(const std::string &enc) const
+{
+    rmb_assert(enc.size() == cfg_.nodes, "bad cycle encoding");
+    St s{};
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+        const auto b = static_cast<std::uint8_t>(enc[i]);
+        s.phase[i] = static_cast<core::CyclePhase>(b & 0x3);
+        s.id[i] = (b >> 2) & 0x1;
+        s.rel[i] = (b >> 3) & 0xf;
+    }
+    return s;
+}
+
+std::pair<std::string, std::uint8_t>
+CycleModel::canon(const St &s) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    std::string best;
+    std::uint8_t best_rot = 0;
+    St t{};
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t j = (i + r) % n;
+            t.phase[i] = s.phase[j];
+            t.id[i] = s.id[j];
+            t.rel[i] = s.rel[j];
+        }
+        std::string enc = encode(t);
+        if (r == 0 || enc < best) {
+            best = std::move(enc);
+            best_rot = static_cast<std::uint8_t>(r);
+        }
+    }
+    return {best, best_rot};
+}
+
+std::string
+CycleModel::initial() const
+{
+    St s{};
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+        s.phase[i] = core::CyclePhase::Moving;
+        s.id[i] = 0;
+        s.rel[i] = 0;
+    }
+    return canon(s).first;
+}
+
+void
+CycleModel::successors(const std::string &enc, std::vector<Succ> &out,
+                       std::vector<std::string> *labels,
+                       std::vector<std::string> *raws) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    const St s = decode(enc);
+
+    const auto emit = [&](const St &t, std::uint16_t progress,
+                          const std::string &label) {
+        auto [cenc, rot] = canon(t);
+        out.push_back(Succ{std::move(cenc), progress, rot});
+        if (labels)
+            labels->push_back(label);
+        if (raws)
+            raws->push_back(encode(t));
+    };
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t li = (i + n - 1) % n;
+        const std::uint32_t ri = (i + 1) % n;
+
+        // The INC finishes this cycle's datapath moves (raises ID).
+        if (s.phase[i] == core::CyclePhase::Moving && !s.id[i]) {
+            St t = s;
+            t.id[i] = 1;
+            emit(t, 0,
+                 "INC " + std::to_string(i) +
+                     ": datapath moves complete (ID := 1)");
+        }
+
+        // One evaluation of the section-2.5 rules at INC i against
+        // its neighbours' current flags.
+        const core::CycleStep r = core::stepCycle(
+            s.phase[i], s.id[i] != 0, core::cycleOd(s.phase[li]),
+            core::cycleOc(s.phase[li]), core::cycleOd(s.phase[ri]),
+            core::cycleOc(s.phase[ri]), cfg_.cycleVariant);
+        if (r.phase == s.phase[i])
+            continue; // no rule fired: not a transition
+        St t = s;
+        t.phase[i] = r.phase;
+        std::uint16_t progress = 0;
+        std::string label = "INC " + std::to_string(i) + ": ";
+        if (r.cycleFlipped) {
+            progress = static_cast<std::uint16_t>(1u << i);
+            label += "rule 3 fires (OC := 1, cycle flips)";
+            t.rel[i] = static_cast<std::uint8_t>(t.rel[i] + 1);
+            // Renormalize so the ring minimum stays at zero.
+            std::uint8_t m = t.rel[0];
+            for (std::uint32_t j = 1; j < n; ++j)
+                m = std::min(m, t.rel[j]);
+            for (std::uint32_t j = 0; j < n; ++j)
+                t.rel[j] = static_cast<std::uint8_t>(t.rel[j] - m);
+        } else if (r.enteredMoving) {
+            t.id[i] = 0;
+            label += "rule 5 fires (OC := 0, next Moving phase)";
+        } else if (r.phase == core::CyclePhase::WaitNeighborsDone) {
+            label += "rule 2 fires (OD := 1)";
+        } else {
+            label += "rule 4 fires (OD := 0)";
+        }
+        emit(t, progress, label);
+    }
+}
+
+std::optional<Violation>
+CycleModel::inspect(const std::string &enc) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    const St s = decode(enc);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t j = (i + 1) % n;
+        const int skew = s.rel[i] > s.rel[j] ? s.rel[i] - s.rel[j]
+                                             : s.rel[j] - s.rel[i];
+        if (skew > 1) {
+            std::ostringstream os;
+            os << "Lemma 1 violated: cycle-count skew " << skew
+               << " between adjacent INC " << i << " and INC " << j;
+            return Violation{"lemma1-skew", os.str()};
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint16_t
+CycleModel::pendingBits(const std::string &) const
+{
+    // Every INC must always be able to complete another cycle.
+    return static_cast<std::uint16_t>((1u << cfg_.nodes) - 1);
+}
+
+std::uint16_t
+CycleModel::rotateGoals(std::uint16_t bits, unsigned rot) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    std::uint16_t out = 0;
+    for (std::uint32_t j = 0; j < n; ++j)
+        if (bits & (1u << j))
+            out |= static_cast<std::uint16_t>(1u << ((j + rot) % n));
+    return out;
+}
+
+std::string
+CycleModel::describeState(const std::string &enc) const
+{
+    const St s = decode(enc);
+    std::ostringstream os;
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+        if (i)
+            os << " | ";
+        os << "INC" << i << "=" << phaseName(s.phase[i]);
+        if (s.phase[i] == core::CyclePhase::Moving)
+            os << (s.id[i] ? "(done)" : "(moving)");
+        os << " c+" << int{s.rel[i]};
+    }
+    return os.str();
+}
+
+std::string
+CycleModel::describeGoal(unsigned bit) const
+{
+    return "INC " + std::to_string(bit) +
+           " completes another odd/even cycle";
+}
+
+} // namespace check
+} // namespace rmb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Model of the section-2.5 odd/even cycle handshake: a ring of N
+ * copies of the pure core::stepCycle rules, stepped one INC at a time
+ * (asynchronous interleaving - the INCs run on independent clocks).
+ *
+ * State per INC: the CyclePhase, the internal ID bit ("this cycle's
+ * datapath moves are done") and the completed-cycle count *relative
+ * to the ring minimum* (Lemma 1 bounds the spread, so relative
+ * counts keep the state space finite without losing any behaviour).
+ *
+ * Checked properties:
+ *   - safety: Lemma 1 - neighbouring cycle counts never differ by
+ *     more than one;
+ *   - deadlock freedom: some INC can always act;
+ *   - progress: from every reachable state, every INC can still
+ *     complete another cycle.
+ */
+
+#ifndef RMB_CHECK_CYCLE_MODEL_HH
+#define RMB_CHECK_CYCLE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "check/check.hh"
+
+namespace rmb {
+namespace check {
+
+class CycleModel : public Model
+{
+  public:
+    explicit CycleModel(const CheckConfig &cfg);
+
+    std::string initial() const override;
+    void successors(const std::string &enc, std::vector<Succ> &out,
+                    std::vector<std::string> *labels,
+                    std::vector<std::string> *raws) const override;
+    std::optional<Violation>
+    inspect(const std::string &enc) const override;
+    std::uint16_t pendingBits(const std::string &enc) const override;
+    bool goalsRotate() const override { return true; }
+    std::uint16_t rotateGoals(std::uint16_t bits,
+                              unsigned rot) const override;
+    std::string describeState(const std::string &enc) const override;
+    std::string describeGoal(unsigned bit) const override;
+    std::string name() const override { return "cycle"; }
+
+  private:
+    /** Decoded ring state (index = INC position). */
+    struct St
+    {
+        std::array<core::CyclePhase, kMaxCheckNodes> phase;
+        std::array<std::uint8_t, kMaxCheckNodes> id;
+        std::array<std::uint8_t, kMaxCheckNodes> rel;
+    };
+
+    St decode(const std::string &enc) const;
+    std::string encode(const St &s) const;
+    /** Minimal encoding over all rotations, and the rotation used. */
+    std::pair<std::string, std::uint8_t> canon(const St &s) const;
+
+    CheckConfig cfg_;
+};
+
+} // namespace check
+} // namespace rmb
+
+#endif // RMB_CHECK_CYCLE_MODEL_HH

@@ -1,0 +1,222 @@
+#include "check/explorer.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace rmb {
+namespace check {
+
+namespace {
+
+/** One stored transition of the canonical graph (CSR arena). */
+struct Edge
+{
+    std::uint32_t to;
+    std::uint16_t progress;
+    std::uint8_t rot;
+};
+
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+} // namespace
+
+ExploreResult
+explore(const Model &model, std::size_t max_states)
+{
+    ExploreResult res;
+
+    // Interned canonical states.  BFS order == insertion order, so
+    // the frontier is just a cursor over the states vector.
+    std::unordered_map<std::string, std::uint32_t> index;
+    std::vector<const std::string *> states;
+    std::vector<std::uint32_t> parent;
+    std::vector<std::uint32_t> depth;
+
+    const auto intern = [&](std::string enc, std::uint32_t par) {
+        const auto next = static_cast<std::uint32_t>(states.size());
+        auto [it, fresh] = index.emplace(std::move(enc), next);
+        if (fresh) {
+            states.push_back(&it->first);
+            parent.push_back(par);
+            depth.push_back(par == kNoParent ? 0 : depth[par] + 1);
+        }
+        return std::make_pair(it->second, fresh);
+    };
+
+    const auto chain = [&](std::uint32_t v) {
+        std::vector<std::string> tr;
+        for (std::uint32_t x = v;; x = parent[x]) {
+            tr.push_back(*states[x]);
+            if (parent[x] == kNoParent)
+                break;
+        }
+        std::reverse(tr.begin(), tr.end());
+        return tr;
+    };
+
+    intern(model.initial(), kNoParent);
+    if (auto viol = model.inspect(*states[0])) {
+        res.violation = viol;
+        res.trace = chain(0);
+        res.numStates = 1;
+        return res;
+    }
+
+    std::vector<Succ> succs;
+    for (std::uint32_t v = 0; v < states.size(); ++v) {
+        succs.clear();
+        model.successors(*states[v], succs);
+        res.numEdges += succs.size();
+        if (succs.empty()) {
+            res.violation = Violation{
+                "deadlock",
+                "deadlock: no INC or message can take any step from "
+                "this state"};
+            res.trace = chain(v);
+            res.numStates = states.size();
+            return res;
+        }
+        for (Succ &sc : succs) {
+            const auto [w, fresh] = intern(std::move(sc.enc), v);
+            if (!fresh)
+                continue;
+            res.depth = std::max(res.depth,
+                                 static_cast<std::size_t>(depth[w]));
+            if (auto viol = model.inspect(*states[w])) {
+                res.violation = viol;
+                res.trace = chain(w);
+                res.numStates = states.size();
+                return res;
+            }
+            if (states.size() >= max_states) {
+                res.truncated = true;
+                res.numStates = states.size();
+                return res;
+            }
+        }
+    }
+    const auto nstates = static_cast<std::uint32_t>(states.size());
+    res.numStates = nstates;
+
+    // Liveness: achievable-goal masks by backward fixpoint over the
+    // stored edge relation.
+    std::vector<Edge> edges;
+    edges.reserve(res.numEdges);
+    std::vector<std::uint32_t> eoff(nstates + 1, 0);
+    for (std::uint32_t v = 0; v < nstates; ++v) {
+        eoff[v] = static_cast<std::uint32_t>(edges.size());
+        succs.clear();
+        model.successors(*states[v], succs);
+        for (const Succ &sc : succs) {
+            const auto it = index.find(sc.enc);
+            rmb_assert(it != index.end(),
+                       "successor escaped the completed BFS");
+            edges.push_back(Edge{it->second, sc.progress, sc.rot});
+        }
+    }
+    eoff[nstates] = static_cast<std::uint32_t>(edges.size());
+
+    // Reverse adjacency in CSR form, for the worklist.
+    std::vector<std::uint32_t> roff(nstates + 1, 0);
+    for (const Edge &e : edges)
+        ++roff[e.to + 1];
+    for (std::uint32_t v = 0; v < nstates; ++v)
+        roff[v + 1] += roff[v];
+    std::vector<std::uint32_t> preds(edges.size());
+    {
+        std::vector<std::uint32_t> pos(roff.begin(),
+                                       roff.end() - 1);
+        for (std::uint32_t v = 0; v < nstates; ++v)
+            for (std::uint32_t e = eoff[v]; e < eoff[v + 1]; ++e)
+                preds[pos[edges[e].to]++] = v;
+    }
+
+    const bool rotate = model.goalsRotate();
+    std::vector<std::uint16_t> mask(nstates, 0);
+    std::vector<std::uint8_t> queued(nstates, 1);
+    std::deque<std::uint32_t> work;
+    for (std::uint32_t v = nstates; v-- > 0;)
+        work.push_back(v); // deepest first converges faster
+    while (!work.empty()) {
+        const std::uint32_t v = work.front();
+        work.pop_front();
+        queued[v] = 0;
+        std::uint16_t m = 0;
+        for (std::uint32_t e = eoff[v]; e < eoff[v + 1]; ++e) {
+            const Edge &ed = edges[e];
+            m |= ed.progress;
+            m |= rotate ? model.rotateGoals(mask[ed.to], ed.rot)
+                        : mask[ed.to];
+        }
+        if (m == mask[v])
+            continue;
+        mask[v] = m;
+        for (std::uint32_t p = roff[v]; p < roff[v + 1]; ++p) {
+            if (!queued[preds[p]]) {
+                queued[preds[p]] = 1;
+                work.push_back(preds[p]);
+            }
+        }
+    }
+
+    for (std::uint32_t v = 0; v < nstates; ++v) {
+        const std::uint16_t missing =
+            static_cast<std::uint16_t>(model.pendingBits(*states[v]) &
+                                       ~mask[v]);
+        if (!missing)
+            continue;
+        unsigned bit = 0;
+        while (!(missing & (1u << bit)))
+            ++bit;
+        std::ostringstream os;
+        os << "livelock: from this state there is no path on which "
+           << model.describeGoal(bit);
+        res.violation = Violation{"livelock", os.str()};
+        res.trace = chain(v);
+        return res;
+    }
+    return res;
+}
+
+std::string
+renderTrace(const Model &model, const std::vector<std::string> &trace,
+            const Violation &violation)
+{
+    std::ostringstream os;
+    if (trace.empty())
+        return os.str();
+    std::string cur = trace.front();
+    os << "    step 0: " << model.describeState(cur) << "\n";
+    std::vector<Succ> succs;
+    std::vector<std::string> labels;
+    std::vector<std::string> raws;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        succs.clear();
+        labels.clear();
+        raws.clear();
+        model.successors(cur, succs, &labels, &raws);
+        bool found = false;
+        for (std::size_t j = 0; j < succs.size(); ++j) {
+            if (succs[j].enc == trace[i]) {
+                cur = raws[j];
+                os << "    step " << i << ": " << labels[j] << "\n"
+                   << "            " << model.describeState(cur)
+                   << "\n";
+                found = true;
+                break;
+            }
+        }
+        rmb_assert(found, "counterexample step ", i,
+                   " not reproducible");
+    }
+    os << "    => " << violation.message << "\n";
+    return os.str();
+}
+
+} // namespace check
+} // namespace rmb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The explicit-state exploration engine behind tools/rmbcheck.
+ *
+ * Breadth-first search over a Model's canonical state graph with
+ * three analyses layered on top:
+ *
+ *   - safety: every newly generated state runs Model::inspect; the
+ *     first failure (in BFS order, hence at minimal depth) becomes a
+ *     counterexample trace via the BFS parent chain;
+ *   - deadlock: a state with no outgoing transition at all;
+ *   - liveness ("possibility"): for each state, the set of goal bits
+ *     still achievable on some outgoing path is computed by a
+ *     backward fixpoint over the full edge relation; a state whose
+ *     pendingBits are not all achievable is a livelock witness.  The
+ *     fixpoint rotates goal masks along edges (Succ::rot) so
+ *     INC-indexed goals stay aligned across the symmetry-reduced
+ *     frames.
+ */
+
+#ifndef RMB_CHECK_EXPLORER_HH
+#define RMB_CHECK_EXPLORER_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+
+namespace rmb {
+namespace check {
+
+/** Everything one exploration produced. */
+struct ExploreResult
+{
+    /** True if maxStates was hit; analyses are then incomplete. */
+    bool truncated = false;
+
+    /** The first safety/deadlock/liveness failure, if any. */
+    std::optional<Violation> violation;
+
+    /**
+     * Canonical encodings from the initial state to the violating
+     * state (inclusive); empty when no violation.
+     */
+    std::vector<std::string> trace;
+
+    std::size_t numStates = 0;
+    std::size_t numEdges = 0;
+    /** BFS depth of the deepest state reached. */
+    std::size_t depth = 0;
+};
+
+/** Exhaustively explore @p model up to @p max_states states. */
+ExploreResult explore(const Model &model, std::size_t max_states);
+
+/**
+ * Render a counterexample trace as prose: one line per step with the
+ * action taken and the resulting state.  Re-simulates the trace in
+ * concrete (unrotated) frames so consecutive lines stay comparable.
+ */
+std::string renderTrace(const Model &model,
+                        const std::vector<std::string> &trace,
+                        const Violation &violation);
+
+} // namespace check
+} // namespace rmb
+
+#endif // RMB_CHECK_EXPLORER_HH

@@ -1,0 +1,528 @@
+#include "check/net_model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "rmb/status_register.hh"
+
+namespace rmb {
+namespace check {
+
+NetModel::NetModel(const CheckConfig &cfg) : cfg_(cfg)
+{
+    rmb_assert(cfg.nodes >= 2 && cfg.nodes <= kMaxCheckNodes,
+               "datapath model supports 2..", kMaxCheckNodes,
+               " nodes");
+    rmb_assert(cfg.buses >= 1 && cfg.buses <= 8,
+               "datapath model supports 1..8 buses");
+    rmb_assert(cfg.messages >= 1 && cfg.messages <= kMaxCheckMessages,
+               "datapath model supports 1..", kMaxCheckMessages,
+               " message slots");
+}
+
+std::string
+NetModel::encode(const St &s) const
+{
+    std::string enc;
+    for (const Slot &slot : s.slots) {
+        enc.push_back(static_cast<char>(slot.kind));
+        if (slot.kind == SlotKind::Idle)
+            continue;
+        enc.push_back(static_cast<char>(slot.src));
+        enc.push_back(static_cast<char>(slot.dst));
+        if (slot.kind == SlotKind::Pending)
+            continue;
+        enc.push_back(static_cast<char>(slot.phase));
+        enc.push_back(static_cast<char>(slot.hops.size()));
+        for (const Hp &h : slot.hops)
+            enc.push_back(static_cast<char>(
+                static_cast<unsigned>(h.level) |
+                (h.move ? 0x40u : 0u)));
+    }
+    return enc;
+}
+
+NetModel::St
+NetModel::decode(const std::string &enc) const
+{
+    St s;
+    s.slots.resize(cfg_.messages);
+    std::size_t p = 0;
+    const auto next = [&]() -> std::uint8_t {
+        rmb_assert(p < enc.size(), "truncated datapath encoding");
+        return static_cast<std::uint8_t>(enc[p++]);
+    };
+    for (Slot &slot : s.slots) {
+        slot.kind = static_cast<SlotKind>(next());
+        if (slot.kind == SlotKind::Idle)
+            continue;
+        slot.src = next();
+        slot.dst = next();
+        if (slot.kind == SlotKind::Pending)
+            continue;
+        slot.phase = static_cast<BusPhase>(next());
+        slot.hops.resize(next());
+        for (Hp &h : slot.hops) {
+            const std::uint8_t b = next();
+            h.level = static_cast<std::int8_t>(b & 0x3f);
+            h.move = (b & 0x40) != 0;
+        }
+    }
+    rmb_assert(p == enc.size(), "trailing bytes in encoding");
+    return s;
+}
+
+std::pair<std::string, std::uint8_t>
+NetModel::canon(const St &s) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    std::string best;
+    std::uint8_t best_rot = 0;
+    St t = s;
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < s.slots.size(); ++i) {
+            if (s.slots[i].kind == SlotKind::Idle)
+                continue;
+            t.slots[i].src = static_cast<std::uint8_t>(
+                (s.slots[i].src + n - r) % n);
+            t.slots[i].dst = static_cast<std::uint8_t>(
+                (s.slots[i].dst + n - r) % n);
+        }
+        std::string enc = encode(t);
+        if (r == 0 || enc < best) {
+            best = std::move(enc);
+            best_rot = static_cast<std::uint8_t>(r);
+        }
+    }
+    return {best, best_rot};
+}
+
+std::string
+NetModel::initial() const
+{
+    St s;
+    s.slots.resize(cfg_.messages);
+    return canon(s).first;
+}
+
+void
+NetModel::occupancy(const St &s, std::vector<std::uint8_t> &occ) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    occ.assign(static_cast<std::size_t>(n) * cfg_.buses, 0);
+    for (const Slot &slot : s.slots) {
+        if (slot.kind != SlotKind::Active)
+            continue;
+        for (std::size_t j = 0; j < slot.hops.size(); ++j) {
+            const std::uint32_t gap =
+                (slot.src + static_cast<std::uint32_t>(j)) % n;
+            const Hp &h = slot.hops[j];
+            ++occ[gap * cfg_.buses +
+                  static_cast<std::uint32_t>(h.level)];
+            if (h.move)
+                ++occ[gap * cfg_.buses +
+                      static_cast<std::uint32_t>(h.level - 1)];
+        }
+    }
+}
+
+core::VirtualBus
+NetModel::busView(const Slot &slot) const
+{
+    core::VirtualBus vb;
+    vb.id = 1;
+    vb.src = slot.src;
+    vb.dst = slot.dst;
+    switch (slot.phase) {
+      case BusPhase::Advancing:
+        vb.state = core::BusState::Advancing;
+        break;
+      case BusPhase::Established:
+        vb.state = core::BusState::Streaming;
+        break;
+      case BusPhase::NackTeardown:
+        vb.state = core::BusState::NackTeardown;
+        break;
+      case BusPhase::FackTeardown:
+        vb.state = core::BusState::FackTeardown;
+        break;
+    }
+    for (std::size_t j = 0; j < slot.hops.size(); ++j) {
+        core::Hop h;
+        h.gap = (slot.src + static_cast<std::uint32_t>(j)) %
+                cfg_.nodes;
+        h.level = slot.hops[j].level;
+        h.dualLevel = slot.hops[j].move
+                          ? static_cast<core::Level>(
+                                slot.hops[j].level - 1)
+                          : core::kNoLevel;
+        vb.hops.push_back(h);
+    }
+    return vb;
+}
+
+std::uint32_t
+NetModel::pathLength(const Slot &slot) const
+{
+    return (slot.dst + cfg_.nodes - slot.src) % cfg_.nodes;
+}
+
+void
+NetModel::successors(const std::string &enc, std::vector<Succ> &out,
+                     std::vector<std::string> *labels,
+                     std::vector<std::string> *raws) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    const auto k = static_cast<core::Level>(cfg_.buses);
+    const St s = decode(enc);
+
+    std::vector<std::uint8_t> occ;
+    occupancy(s, occ);
+    const auto free = [&](std::uint32_t gap, core::Level level) {
+        return occ[gap * cfg_.buses +
+                   static_cast<std::uint32_t>(level)] == 0;
+    };
+
+    const auto emit = [&](const St &t, std::uint16_t progress,
+                          const std::string &label) {
+        auto [cenc, rot] = canon(t);
+        out.push_back(Succ{std::move(cenc), progress, rot});
+        if (labels)
+            labels->push_back(label);
+        if (raws)
+            raws->push_back(encode(t));
+    };
+
+    const auto inject = [&](std::size_t si, std::uint32_t src,
+                            std::uint32_t dst, const char *how) {
+        St t = s;
+        Slot &slot = t.slots[si];
+        slot.kind = SlotKind::Active;
+        slot.src = static_cast<std::uint8_t>(src);
+        slot.dst = static_cast<std::uint8_t>(dst);
+        slot.phase = BusPhase::Advancing;
+        slot.hops = {Hp{static_cast<std::int8_t>(k - 1), false}};
+        std::ostringstream os;
+        os << "slot " << si << ": " << how << " " << src << " -> "
+           << dst << " on the top bus (claims gap " << src
+           << " level " << k - 1 << ")";
+        emit(t, 0, os.str());
+    };
+
+    for (std::size_t si = 0; si < s.slots.size(); ++si) {
+        const Slot &slot = s.slots[si];
+
+        if (slot.kind == SlotKind::Idle) {
+            for (std::uint32_t src = 0; src < n; ++src) {
+                if (!free(src, k - 1))
+                    continue;
+                for (std::uint32_t dst = 0; dst < n; ++dst)
+                    if (dst != src)
+                        inject(si, src, dst, "inject");
+            }
+            continue;
+        }
+        if (slot.kind == SlotKind::Pending) {
+            if (free(slot.src, k - 1))
+                inject(si, slot.src, slot.dst, "retry");
+            continue;
+        }
+
+        const core::VirtualBus vb = busView(slot);
+        const auto len = static_cast<std::uint32_t>(slot.hops.size());
+
+        if (slot.phase == BusPhase::Advancing) {
+            const std::uint32_t head = (slot.src + len) % n;
+            if (head == slot.dst) {
+                St t = s;
+                t.slots[si].phase = BusPhase::Established;
+                std::ostringstream os;
+                os << "slot " << si << ": header accepted at node "
+                   << head << " (Hack; bus established)";
+                emit(t, static_cast<std::uint16_t>(1u << si),
+                     os.str());
+            } else {
+                const std::vector<core::Level> prefs =
+                    core::reachableOutputLevels(vb.hops.back(), k,
+                                                cfg_.headerPolicy);
+                core::Level chosen = core::kNoLevel;
+                for (core::Level l : prefs) {
+                    if (free(head, l)) {
+                        chosen = l;
+                        break;
+                    }
+                }
+                if (chosen != core::kNoLevel) {
+                    St t = s;
+                    t.slots[si].hops.push_back(
+                        Hp{static_cast<std::int8_t>(chosen), false});
+                    std::ostringstream os;
+                    os << "slot " << si
+                       << ": header advances through INC " << head
+                       << " (claims gap " << head << " level "
+                       << chosen << ")";
+                    emit(t, 0, os.str());
+                } else {
+                    St t = s;
+                    t.slots[si].phase = BusPhase::NackTeardown;
+                    std::ostringstream os;
+                    os << "slot " << si << ": header blocked at INC "
+                       << head
+                       << " (no free reachable segment); Nack "
+                          "teardown begins";
+                    emit(t, 0, os.str());
+                }
+            }
+        } else if (slot.phase == BusPhase::Established) {
+            St t = s;
+            t.slots[si].phase = BusPhase::FackTeardown;
+            std::ostringstream os;
+            os << "slot " << si
+               << ": final flit delivered; Fack teardown begins";
+            emit(t, 0, os.str());
+        } else {
+            // Teardown: the travelling Fack/Nack frees the hop
+            // nearest the head, one gap per step.
+            St t = s;
+            Slot &ts = t.slots[si];
+            const std::uint32_t gap = (slot.src + len - 1) % n;
+            ts.hops.pop_back();
+            std::ostringstream os;
+            const bool fack = slot.phase == BusPhase::FackTeardown;
+            os << "slot " << si << ": " << (fack ? "Fack" : "Nack")
+               << " frees gap " << gap;
+            if (ts.hops.empty()) {
+                if (fack) {
+                    ts = Slot{};
+                    os << "; message complete";
+                } else {
+                    ts.kind = SlotKind::Pending;
+                    ts.phase = BusPhase::Advancing;
+                    os << "; source will retry";
+                }
+            }
+            emit(t, 0, os.str());
+        }
+
+        // Compaction: make / break per hop, straight from Figure 7.
+        if (slot.kind != SlotKind::Active)
+            continue;
+        for (std::size_t j = 0; j < slot.hops.size(); ++j) {
+            const std::uint32_t gap =
+                (slot.src + static_cast<std::uint32_t>(j)) % n;
+            if (slot.hops[j].move) {
+                St t = s;
+                Hp &h = t.slots[si].hops[j];
+                h.level = static_cast<std::int8_t>(h.level - 1);
+                h.move = false;
+                std::ostringstream os;
+                os << "slot " << si << ": break of hop " << j
+                   << " (releases gap " << gap << " level "
+                   << slot.hops[j].level << ")";
+                emit(t, 0, os.str());
+            } else if (core::hopMovableRule(vb, j, free,
+                                            cfg_.moveVariant)) {
+                St t = s;
+                t.slots[si].hops[j].move = true;
+                std::ostringstream os;
+                os << "slot " << si << ": make of hop " << j
+                   << " (claims gap " << gap << " level "
+                   << slot.hops[j].level - 1
+                   << "; dual-source window opens)";
+                emit(t, 0, os.str());
+            }
+        }
+    }
+}
+
+std::optional<Violation>
+NetModel::inspect(const std::string &enc) const
+{
+    const std::uint32_t n = cfg_.nodes;
+    const auto k = static_cast<core::Level>(cfg_.buses);
+    const St s = decode(enc);
+
+    // Segment exclusivity: no physical segment claimed twice.
+    std::vector<std::uint8_t> occ;
+    occupancy(s, occ);
+    for (std::uint32_t g = 0; g < n; ++g)
+        for (core::Level l = 0; l < k; ++l)
+            if (occ[g * cfg_.buses + static_cast<std::uint32_t>(l)] >
+                1) {
+                std::ostringstream os;
+                os << "segment (gap " << g << ", level " << l
+                   << ") claimed by more than one connection";
+                return {Violation{"segment-clash", os.str()}};
+            }
+
+    for (std::size_t si = 0; si < s.slots.size(); ++si) {
+        const Slot &slot = s.slots[si];
+        if (slot.kind != SlotKind::Active)
+            continue;
+        const auto len = static_cast<std::uint32_t>(slot.hops.size());
+        const std::uint32_t path = pathLength(slot);
+
+        if (len == 0 || len > path) {
+            std::ostringstream os;
+            os << "slot " << si << ": bus holds " << len
+               << " hops on a " << path << "-gap path";
+            return {Violation{"bad-extent", os.str()}};
+        }
+        if (slot.phase == BusPhase::Established && len != path) {
+            std::ostringstream os;
+            os << "slot " << si << ": established bus spans " << len
+               << " of " << path << " gaps";
+            return {Violation{"bad-extent", os.str()}};
+        }
+
+        for (std::uint32_t j = 0; j < len; ++j) {
+            const Hp &h = slot.hops[j];
+            if (h.level < 0 || h.level >= k ||
+                (h.move && h.level < 1)) {
+                std::ostringstream os;
+                os << "slot " << si << ": hop " << j
+                   << " at impossible level " << int{h.level};
+                return {Violation{"bad-level", os.str()}};
+            }
+            // Section 2.4's pairwise agreement serializes moves of
+            // adjacent hops; two neighbours mid-move at once means
+            // the serialization broke.
+            if (j + 1 < len && h.move && slot.hops[j + 1].move) {
+                std::ostringstream os;
+                os << "slot " << si << ": hops " << j << " and "
+                   << j + 1
+                   << " are mid-move at the same time (adjacent "
+                      "moves must serialize)";
+                return {Violation{"concurrent-adjacent-moves",
+                                  os.str()}};
+            }
+        }
+
+        // Derive every intermediate INC's output-port status codes
+        // from the hop chain and hold them against Table 1.
+        for (std::uint32_t j = 1; j < len; ++j) {
+            const Hp &a = slot.hops[j - 1]; // input side
+            const Hp &b = slot.hops[j];     // output side
+            const std::uint32_t inc = (slot.src + j) % n;
+            std::vector<core::Level> ins{a.level};
+            if (a.move)
+                ins.push_back(static_cast<core::Level>(a.level - 1));
+            std::vector<core::Level> outs{b.level};
+            if (b.move)
+                outs.push_back(static_cast<core::Level>(b.level - 1));
+            for (core::Level o : outs) {
+                std::uint8_t bits = 0;
+                for (core::Level i : ins) {
+                    if (!core::levelsReachable(i, o)) {
+                        std::ostringstream os;
+                        os << "slot " << si << ": severed at INC "
+                           << inc << " - input level " << i
+                           << " cannot reach output level " << o
+                           << " (Figure 6 allows only +-1)";
+                        return {Violation{"severed-bus", os.str()}};
+                    }
+                    bits |= core::dirBit(core::sourceDirOf(i, o));
+                }
+                if (!core::statusLegal(bits)) {
+                    std::ostringstream os;
+                    os << "slot " << si << ": INC " << inc
+                       << " output level " << o
+                       << " holds forbidden status code "
+                       << core::statusName(bits);
+                    return {Violation{"illegal-status", os.str()}};
+                }
+                int nsrc = 0;
+                for (std::uint8_t bb = bits; bb; bb >>= 1)
+                    nsrc += bb & 1;
+                if (nsrc > 1 && !a.move) {
+                    std::ostringstream os;
+                    os << "slot " << si << ": INC " << inc
+                       << " sees two sources outside a "
+                          "make-before-break window";
+                    return {Violation{"dual-outside-move",
+                                      os.str()}};
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint16_t
+NetModel::pendingBits(const std::string &enc) const
+{
+    const St s = decode(enc);
+    std::uint16_t bits = 0;
+    for (std::size_t si = 0; si < s.slots.size(); ++si) {
+        const Slot &slot = s.slots[si];
+        if (slot.kind == SlotKind::Pending ||
+            (slot.kind == SlotKind::Active &&
+             slot.phase == BusPhase::Advancing))
+            bits |= static_cast<std::uint16_t>(1u << si);
+    }
+    return bits;
+}
+
+std::string
+NetModel::describeState(const std::string &enc) const
+{
+    const St s = decode(enc);
+    std::ostringstream os;
+    for (std::size_t si = 0; si < s.slots.size(); ++si) {
+        const Slot &slot = s.slots[si];
+        if (si)
+            os << " | ";
+        os << "slot" << si << ": ";
+        switch (slot.kind) {
+          case SlotKind::Idle:
+            os << "idle";
+            break;
+          case SlotKind::Pending:
+            os << "retry " << int{slot.src} << "->" << int{slot.dst};
+            break;
+          case SlotKind::Active: {
+            os << "bus " << int{slot.src} << "->" << int{slot.dst}
+               << " ";
+            switch (slot.phase) {
+              case BusPhase::Advancing:
+                os << "advancing";
+                break;
+              case BusPhase::Established:
+                os << "established";
+                break;
+              case BusPhase::NackTeardown:
+                os << "nack-teardown";
+                break;
+              case BusPhase::FackTeardown:
+                os << "fack-teardown";
+                break;
+            }
+            os << " [";
+            for (std::size_t j = 0; j < slot.hops.size(); ++j) {
+                if (j)
+                    os << " ";
+                os << "g"
+                   << (slot.src + static_cast<std::uint32_t>(j)) %
+                          cfg_.nodes
+                   << ":L" << int{slot.hops[j].level};
+                if (slot.hops[j].move)
+                    os << "*";
+            }
+            os << "]";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+NetModel::describeGoal(unsigned bit) const
+{
+    return "slot " + std::to_string(bit) +
+           "'s pending request is granted (header accepted)";
+}
+
+} // namespace check
+} // namespace rmb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Model of the datapath layer: M message slots injecting, advancing,
+ * streaming and tearing down virtual buses on a ring of N gaps by k
+ * segments, with make-before-break compaction interleaved.
+ *
+ * Every guard is the simulator's own pure rule:
+ *   - header advance uses core::reachableOutputLevels (Figure 6 +
+ *     the header policy), taking the first free level it offers;
+ *   - moves use core::hopMovableRule (Figure 7) on a real
+ *     core::VirtualBus view of the state, split into separate "make"
+ *     (claim the lower segment) and "break" (release the upper one)
+ *     transitions so the dual-source Table-1 codes are reachable
+ *     states the invariants can look at;
+ *   - blocked headers follow BlockingPolicy::NackRetry (the repo
+ *     default): tear down and retry the same (src, dst) request.
+ *
+ * Status registers are not stored: each state derives every INC's
+ * output-port codes from the hop chains and checks them against
+ * core::statusLegal - an illegal or non-adjacent connection is
+ * exactly what "a compaction move severed a virtual bus" looks like.
+ *
+ * The odd/even cycle layer is deliberately absent here: interleaved
+ * atomic moves already serialize adjacent INCs, and the handshake
+ * that achieves the same in hardware is verified separately by
+ * CycleModel (the composition argument is spelled out in
+ * docs/MODELCHECK.md).
+ */
+
+#ifndef RMB_CHECK_NET_MODEL_HH
+#define RMB_CHECK_NET_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.hh"
+#include "rmb/virtual_bus.hh"
+
+namespace rmb {
+namespace check {
+
+/** Largest number of message slots the model accepts. */
+constexpr std::uint32_t kMaxCheckMessages = 4;
+
+class NetModel : public Model
+{
+  public:
+    explicit NetModel(const CheckConfig &cfg);
+
+    std::string initial() const override;
+    void successors(const std::string &enc, std::vector<Succ> &out,
+                    std::vector<std::string> *labels,
+                    std::vector<std::string> *raws) const override;
+    std::optional<Violation>
+    inspect(const std::string &enc) const override;
+    std::uint16_t pendingBits(const std::string &enc) const override;
+    bool goalsRotate() const override { return false; }
+    std::uint16_t
+    rotateGoals(std::uint16_t bits, unsigned) const override
+    {
+        return bits; // goals are slot-indexed; slots do not rotate
+    }
+    std::string describeState(const std::string &enc) const override;
+    std::string describeGoal(unsigned bit) const override;
+    std::string name() const override { return "datapath"; }
+
+  private:
+    /** What a message slot is currently doing. */
+    enum class SlotKind : std::uint8_t
+    {
+        Idle,    //!< no request; may inject any (src, dst)
+        Pending, //!< nacked; must retry the same (src, dst)
+        Active,  //!< owns a live virtual bus
+    };
+
+    /** Protocol phase of a slot's bus (folded from core::BusState:
+     *  AwaitHack + Streaming collapse into Established). */
+    enum class BusPhase : std::uint8_t
+    {
+        Advancing,
+        Established,
+        NackTeardown,
+        FackTeardown,
+    };
+
+    /** One hop: its level, and whether it is mid-move (also owning
+     *  level-1, the make-before-break dual).  The gap is implicit:
+     *  hop j of a bus from src sits in gap (src + j) mod N. */
+    struct Hp
+    {
+        std::int8_t level = 0;
+        bool move = false;
+    };
+
+    struct Slot
+    {
+        SlotKind kind = SlotKind::Idle;
+        std::uint8_t src = 0;
+        std::uint8_t dst = 0;
+        BusPhase phase = BusPhase::Advancing;
+        std::vector<Hp> hops;
+    };
+
+    struct St
+    {
+        std::vector<Slot> slots;
+    };
+
+    St decode(const std::string &enc) const;
+    std::string encode(const St &s) const;
+    std::pair<std::string, std::uint8_t> canon(const St &s) const;
+
+    /** Occupancy grid: occ[gap * k + level] = number of claims. */
+    void occupancy(const St &s, std::vector<std::uint8_t> &occ) const;
+
+    /** Rebuild a real core::VirtualBus view of one slot's bus, so
+     *  the shared rules can be driven unmodified. */
+    core::VirtualBus busView(const Slot &slot) const;
+
+    std::uint32_t pathLength(const Slot &slot) const;
+
+    CheckConfig cfg_;
+};
+
+} // namespace check
+} // namespace rmb
+
+#endif // RMB_CHECK_NET_MODEL_HH

@@ -1,0 +1,119 @@
+#include "check/runner.hh"
+
+#include <chrono>
+#include <iomanip>
+#include <memory>
+#include <ostream>
+
+#include "check/cycle_model.hh"
+#include "check/explorer.hh"
+#include "check/net_model.hh"
+
+namespace rmb {
+namespace check {
+
+namespace {
+
+RunStatus
+runLayer(const Model &model, const CheckConfig &cfg,
+         std::ostream &os)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExploreResult res = explore(model, cfg.maxStates);
+    const auto dt =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    os << "  [" << model.name() << "] states=" << res.numStates
+       << " edges=" << res.numEdges << " depth=" << res.depth
+       << " time=" << std::fixed << std::setprecision(2)
+       << static_cast<double>(dt) / 1000.0 << "s";
+    if (res.truncated) {
+        os << "  TRUNCATED at " << cfg.maxStates
+           << " states; nothing proven (raise --max-states)\n";
+        return RunStatus::Truncated;
+    }
+    if (!res.violation) {
+        os << "  OK\n";
+        return RunStatus::Clean;
+    }
+    os << "  VIOLATION (" << res.violation->kind << ")\n";
+    os << "  counterexample (" << res.trace.size() - 1
+       << " steps):\n"
+       << renderTrace(model, res.trace, *res.violation);
+    return RunStatus::Violation;
+}
+
+} // namespace
+
+RunStatus
+worse(RunStatus a, RunStatus b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+RunStatus
+runCheck(const CheckConfig &cfg, Layers layers, std::ostream &os)
+{
+    os << "rmbcheck: N=" << cfg.nodes << " k=" << cfg.buses
+       << " messages=" << cfg.messages << "\n";
+    RunStatus status = RunStatus::Clean;
+    if (layers != Layers::DatapathOnly) {
+        CycleModel cycle(cfg);
+        status = worse(status, runLayer(cycle, cfg, os));
+    }
+    if (layers != Layers::CycleOnly) {
+        NetModel net(cfg);
+        status = worse(status, runLayer(net, cfg, os));
+    }
+    return status;
+}
+
+RunStatus
+runAll(std::size_t max_states, std::ostream &os)
+{
+    RunStatus status = RunStatus::Clean;
+    for (std::uint32_t n = 3; n <= 6; ++n) {
+        for (std::uint32_t k = 2; k <= 4; ++k) {
+            CheckConfig cfg;
+            cfg.nodes = n;
+            cfg.buses = k;
+            // Two interacting messages cover contention, blocking
+            // and Nack-retry; beyond N=4 the product state space
+            // outgrows a CI budget, so the larger rings run one
+            // message (geometry coverage) - printed, not silent.
+            cfg.messages = n <= 4 ? 2 : 1;
+            cfg.maxStates = max_states;
+            status = worse(status, runCheck(cfg, Layers::Both, os));
+        }
+    }
+    if (status == RunStatus::Clean)
+        os << "rmbcheck: all configurations clean\n";
+    else
+        os << "rmbcheck: FAILURES in the sweep above\n";
+    return status;
+}
+
+bool
+applyMutation(const std::string &name, CheckConfig &cfg)
+{
+    if (name.empty() || name == "none")
+        return true;
+    if (name == "oc-rule-bodytext") {
+        cfg.cycleVariant = core::CycleRuleVariant::OcRuleBodyText;
+        return true;
+    }
+    if (name == "no-handshake-gates") {
+        cfg.cycleVariant = core::CycleRuleVariant::NoHandshakeGates;
+        return true;
+    }
+    if (name == "move-ignore-neighbors") {
+        cfg.moveVariant = core::MoveRuleVariant::IgnoreNeighbors;
+        return true;
+    }
+    return false;
+}
+
+} // namespace check
+} // namespace rmb

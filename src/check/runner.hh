@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Orchestration of model-checking runs: one layer on one
+ * configuration, or the full --all sweep over the paper-sized rings.
+ */
+
+#ifndef RMB_CHECK_RUNNER_HH
+#define RMB_CHECK_RUNNER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "check/check.hh"
+
+namespace rmb {
+namespace check {
+
+/** Which protocol layers a run covers. */
+enum class Layers : std::uint8_t
+{
+    Both,
+    CycleOnly,
+    DatapathOnly,
+};
+
+/** Process exit codes of tools/rmbcheck. */
+enum class RunStatus : int
+{
+    Clean = 0,     //!< every invariant held, liveness proven
+    Violation = 1, //!< a counterexample was found and printed
+    Usage = 2,     //!< bad command line
+    Truncated = 3, //!< state budget hit; nothing was proven
+};
+
+/** Worse-of combinator for aggregating statuses. */
+RunStatus worse(RunStatus a, RunStatus b);
+
+/**
+ * Check one configuration; prints a per-layer summary (and any
+ * counterexample) to @p os.
+ */
+RunStatus runCheck(const CheckConfig &cfg, Layers layers,
+                   std::ostream &os);
+
+/**
+ * The --all sweep: N in {3..6} x k in {2..4}, both layers, unmutated
+ * rules.  The datapath layer runs 2 concurrent messages up to N=4
+ * and 1 beyond (the printed lines say so), keeping the sweep inside
+ * a CI-sized time budget.
+ */
+RunStatus runAll(std::size_t max_states, std::ostream &os);
+
+/**
+ * Map a --mutate argument onto the rule variants it perturbs.
+ * Returns false (leaving @p cfg untouched) for an unknown name.
+ * Known names: "oc-rule-bodytext", "no-handshake-gates",
+ * "move-ignore-neighbors".
+ */
+bool applyMutation(const std::string &name, CheckConfig &cfg);
+
+} // namespace check
+} // namespace rmb
+
+#endif // RMB_CHECK_RUNNER_HH

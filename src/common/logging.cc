@@ -1,6 +1,8 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,16 @@ struct PanicHook
     std::uint64_t id;
     std::function<void()> fn;
 };
+
+// The registry is mutated from whichever thread builds or tears
+// down a Network (parallel sweeps register hooks from every
+// worker), so all access goes through hookMutex().
+std::mutex &
+hookMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 // Function-local so hook registration works from static
 // constructors regardless of link order.
@@ -30,6 +42,7 @@ std::uint64_t nextHookId = 1;
 std::uint64_t
 addPanicHook(std::function<void()> hook)
 {
+    const std::lock_guard<std::mutex> lock(hookMutex());
     const std::uint64_t id = nextHookId++;
     panicHooks().push_back(PanicHook{id, std::move(hook)});
     return id;
@@ -38,6 +51,7 @@ addPanicHook(std::function<void()> hook)
 void
 removePanicHook(std::uint64_t id)
 {
+    const std::lock_guard<std::mutex> lock(hookMutex());
     auto &hooks = panicHooks();
     for (auto it = hooks.begin(); it != hooks.end(); ++it) {
         if (it->id == id) {
@@ -56,12 +70,20 @@ panicImpl(const char *file, int line, const std::string &msg)
                  line);
     // Run the post-mortem hooks (newest first), but never re-enter
     // them: a hook that panics would otherwise recurse forever.
-    static bool inPanic = false;
-    if (!inPanic) {
-        inPanic = true;
-        auto &hooks = panicHooks();
-        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
-            it->fn();
+    // Snapshot under the lock and run outside it, so a hook that
+    // touches the registry can't deadlock.
+    static std::atomic<bool> inPanic{false};
+    if (!inPanic.exchange(true)) {
+        std::vector<std::function<void()>> fns;
+        {
+            const std::lock_guard<std::mutex> lock(hookMutex());
+            auto &hooks = panicHooks();
+            fns.reserve(hooks.size());
+            for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+                fns.push_back(it->fn);
+        }
+        for (auto &fn : fns)
+            fn();
     }
     std::abort();
 }

@@ -3,48 +3,63 @@
 namespace rmb {
 namespace core {
 
-bool
-CycleFsm::step(bool ld, bool lc, bool rd, bool rc)
+CycleStep
+stepCycle(CyclePhase phase, bool id, bool ld, bool lc, bool rd,
+          bool rc, CycleRuleVariant variant)
 {
-    switch (phase_) {
+    CycleStep r{phase, false, false};
+    switch (phase) {
       case CyclePhase::Moving:
         // Rule 2: OD := 1 if ID and both neighbour cycles are clear.
-        if (id_ && !lc && !rc) {
-            od_ = true;
-            phase_ = CyclePhase::WaitNeighborsDone;
-        }
-        return false;
+        if (id && !lc && !rc)
+            r.phase = CyclePhase::WaitNeighborsDone;
+        return r;
 
       case CyclePhase::WaitNeighborsDone:
         // Rule 3 (Figure 10): OC := 1 once both neighbours report
         // their datapath switches complete; the local cycle flips.
-        if (ld && rd) {
-            oc_ = true;
-            ++cycleCount_;
-            phase_ = CyclePhase::WaitNeighborsCycle;
+        // The body-text variant fires on LC = RC = 0 instead, i.e.
+        // immediately after rule 2 - rmbcheck proves that reading
+        // deadlocks the ring.
+        if (variant == CycleRuleVariant::OcRuleBodyText
+                ? (!lc && !rc)
+                : (ld && rd)) {
+            r.phase = CyclePhase::WaitNeighborsCycle;
+            r.cycleFlipped = true;
         }
-        return false;
+        return r;
 
       case CyclePhase::WaitNeighborsCycle:
         // Rule 4: OD := 0 once both neighbours flipped their cycles.
-        if (lc && rc) {
-            od_ = false;
-            phase_ = CyclePhase::WaitNeighborsClear;
+        if (variant == CycleRuleVariant::NoHandshakeGates ||
+            (lc && rc)) {
+            r.phase = CyclePhase::WaitNeighborsClear;
         }
-        return false;
+        return r;
 
       case CyclePhase::WaitNeighborsClear:
         // Rule 5: OC := 0 once both neighbours cleared OD; the next
         // Moving phase begins.
-        if (!ld && !rd) {
-            oc_ = false;
-            id_ = false;
-            phase_ = CyclePhase::Moving;
-            return true;
+        if (variant == CycleRuleVariant::NoHandshakeGates ||
+            (!ld && !rd)) {
+            r.phase = CyclePhase::Moving;
+            r.enteredMoving = true;
         }
-        return false;
+        return r;
     }
-    return false;
+    return r;
+}
+
+bool
+CycleFsm::step(bool ld, bool lc, bool rd, bool rc)
+{
+    const CycleStep r = stepCycle(phase_, id_, ld, lc, rd, rc);
+    phase_ = r.phase;
+    if (r.cycleFlipped)
+        ++cycleCount_;
+    if (r.enteredMoving)
+        id_ = false;
+    return r.enteredMoving;
 }
 
 } // namespace core

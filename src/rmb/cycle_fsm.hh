@@ -47,6 +47,69 @@ enum class CyclePhase : std::uint8_t
     WaitNeighborsClear, //!< OD=0, waiting for LD and RD to clear
 };
 
+/** OD as a pure function of the phase (high between rules 2 and 4). */
+inline bool
+cycleOd(CyclePhase p)
+{
+    return p == CyclePhase::WaitNeighborsDone ||
+           p == CyclePhase::WaitNeighborsCycle;
+}
+
+/** OC as a pure function of the phase (high between rules 3 and 5). */
+inline bool
+cycleOc(CyclePhase p)
+{
+    return p == CyclePhase::WaitNeighborsCycle ||
+           p == CyclePhase::WaitNeighborsClear;
+}
+
+/**
+ * Which reading of the section-2.5 rules to apply.  The simulator
+ * always runs Figure10; the other variants exist so the model
+ * checker (tools/rmbcheck --mutate) can prove the discrepancies
+ * documented above actually break the protocol.
+ */
+enum class CycleRuleVariant : std::uint8_t
+{
+    /** Figure 10's rule 3: OC rises only once LD = RD = 1. */
+    Figure10,
+    /**
+     * The body text's rule 3: OC rises as soon as OD = 1 and
+     * LC = RC = 0, i.e. instantly after rule 2 and regardless of the
+     * neighbours' datapath progress.
+     */
+    OcRuleBodyText,
+    /**
+     * Rules 4 and 5 without their neighbour gates (OD and OC fall
+     * unconditionally).  Not a reading of the paper - a deliberately
+     * broken variant that lets one INC sprint ahead of a slow
+     * neighbour, violating Lemma 1's skew bound.
+     */
+    NoHandshakeGates,
+};
+
+/** Outcome of one pure rule evaluation (see stepCycle). */
+struct CycleStep
+{
+    CyclePhase phase;   //!< next phase
+    bool enteredMoving; //!< rule 5 fired: a new Moving phase begins
+    bool cycleFlipped;  //!< rule 3 fired: the completed-cycle count
+                        //!< increments
+};
+
+/**
+ * One side-effect-free evaluation of the section-2.5 rules: given
+ * the current phase, the internal ID signal and the neighbour flags,
+ * return the successor phase and what happened.  This is the single
+ * source of truth for the rules - CycleFsm::step drives it for the
+ * simulator, and the model checker (src/check/) drives it directly
+ * to enumerate every reachable state of a ring of these FSMs.
+ */
+CycleStep stepCycle(CyclePhase phase, bool id, bool ld, bool lc,
+                    bool rd, bool rc,
+                    CycleRuleVariant variant =
+                        CycleRuleVariant::Figure10);
+
 /**
  * Pure state machine: the owner (the Inc) feeds it neighbour flags on
  * every local clock tick and is told when a new Moving phase begins.
@@ -54,8 +117,8 @@ enum class CyclePhase : std::uint8_t
 class CycleFsm
 {
   public:
-    bool od() const { return od_; }
-    bool oc() const { return oc_; }
+    bool od() const { return cycleOd(phase_); }
+    bool oc() const { return cycleOc(phase_); }
     CyclePhase phase() const { return phase_; }
 
     /** Number of completed odd/even cycles. */
@@ -95,8 +158,6 @@ class CycleFsm
 
   private:
     CyclePhase phase_ = CyclePhase::Moving;
-    bool od_ = false;
-    bool oc_ = false;
     bool id_ = false;
     std::uint64_t cycleCount_ = 0;
 };

@@ -3,27 +3,11 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "rmb/compaction_rules.hh"
 #include "rmb/fault.hh"
 
 namespace rmb {
 namespace core {
-
-namespace {
-
-/** Direction of input level @p lin as seen from output level @p lout. */
-SourceDir
-dirOf(Level lin, Level lout)
-{
-    if (lin == lout - 1)
-        return SourceDir::Below;
-    if (lin == lout)
-        return SourceDir::Straight;
-    if (lin == lout + 1)
-        return SourceDir::Above;
-    panic("input level ", lin, " not adjacent to output level ", lout);
-}
-
-} // namespace
 
 namespace {
 
@@ -340,28 +324,9 @@ RmbNetwork::headerArrive(VirtualBusId bus_id)
 std::vector<Level>
 RmbNetwork::reachableLevels(const VirtualBus &bus) const
 {
-    const Hop &head = bus.hops.back();
-    const bool lowest_first =
-        config_.headerPolicy == HeaderPolicy::PreferLowest;
-    std::vector<Level> levels;
-    if (head.inMove()) {
-        // Mid-move the hop settles at dualLevel = level-1; only
-        // outputs legal from *both* the old and the new input level
-        // may be taken, which is exactly {level-1, level}.
-        levels = lowest_first
-                     ? std::vector<Level>{head.level - 1, head.level}
-                     : std::vector<Level>{head.level,
-                                          head.level - 1};
-    } else if (lowest_first) {
-        levels = {head.level - 1, head.level, head.level + 1};
-    } else {
-        levels = {head.level, head.level - 1, head.level + 1};
-    }
-    std::vector<Level> ok;
-    for (Level l : levels)
-        if (l >= 0 && l < static_cast<Level>(config_.numBuses))
-            ok.push_back(l);
-    return ok;
+    return reachableOutputLevels(bus.hops.back(),
+                                 static_cast<Level>(config_.numBuses),
+                                 config_.headerPolicy);
 }
 
 void
@@ -920,41 +885,12 @@ bool
 RmbNetwork::hopMovable(const VirtualBus &bus,
                        std::size_t hop_index) const
 {
-    if (isTeardown(bus.state))
-        return false;
-    const Hop &hop = bus.hops[hop_index];
-    if (hop.inMove() || hop.level <= 0)
-        return false;
-    if (!segments_.isFree(hop.gap, hop.level - 1))
-        return false;
-    // Figure 7's four conditions: both neighbouring hops (when they
-    // exist) must sit at level or level-1, and neither may itself be
-    // mid-move (the odd/even pairwise agreement serializes adjacent
-    // moves).
-    if (hop_index > 0) {
-        const Hop &prev = bus.hops[hop_index - 1];
-        if (prev.inMove())
-            return false;
-        if (prev.level != hop.level && prev.level != hop.level - 1)
-            return false;
-    }
-    if (hop_index + 1 < bus.hops.size()) {
-        const Hop &next = bus.hops[hop_index + 1];
-        if (next.inMove())
-            return false;
-        if (next.level != hop.level && next.level != hop.level - 1)
-            return false;
-    } else if (bus.state == BusState::Advancing) {
-        // The header flit is mid-flight beyond this hop; moving the
-        // segment right under it would shrink the header's reachable
-        // output set at the next INC ({l-1, l} instead of three
-        // levels) and provoke needless aborts.  The paper compacts
-        // "the virtual bus drawn behind" the header (section 2.2) -
-        // a *blocked* head hop still moves so a waiting header can
-        // sink toward the lowest free levels (Theorem 1).
-        return false;
-    }
-    return true;
+    // Figure 7, via the shared pure rule the model checker also
+    // drives (rmb/compaction_rules.hh).
+    return hopMovableRule(bus, hop_index,
+                          [this](GapId gap, Level level) {
+                              return segments_.isFree(gap, level);
+                          });
 }
 
 std::vector<RmbNetwork::MoveRecord>
@@ -1280,10 +1216,10 @@ RmbNetwork::outputStatus(net::NodeId node, Level level,
     if (prev.inMove()) {
         // Input mid-move: both the old and the new input level drive
         // this output (the documented 011/110 dual codes).
-        reg.connect(dirOf(prev.level, level));
-        reg.connect(dirOf(prev.dualLevel, level));
+        reg.connect(sourceDirOf(prev.level, level));
+        reg.connect(sourceDirOf(prev.dualLevel, level));
     } else {
-        reg.connect(dirOf(prev.level, level));
+        reg.connect(sourceDirOf(prev.level, level));
     }
     return reg.bits();
 }

@@ -5,8 +5,6 @@
 namespace rmb {
 namespace core {
 
-namespace {
-
 std::uint8_t
 dirBit(SourceDir d)
 {
@@ -20,8 +18,6 @@ dirBit(SourceDir d)
     }
     panic("bad SourceDir");
 }
-
-} // namespace
 
 bool
 statusLegal(std::uint8_t bits)
@@ -46,8 +42,15 @@ statusName(std::uint8_t bits)
         return "from-above";
       case 0b110:
         return "above+straight";
-      default:
-        return "ILLEGAL";
+      default: {
+        // Diagnostic form for the forbidden codes (101, 111) and
+        // out-of-range values: at least three binary digits.
+        std::string digits;
+        for (std::uint8_t b = bits; b || digits.size() < 3; b >>= 1)
+            digits.insert(digits.begin(),
+                          static_cast<char>('0' + (b & 1)));
+        return "illegal(0b" + digits + ")";
+      }
     }
 }
 

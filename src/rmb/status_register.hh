@@ -45,8 +45,16 @@ enum class SourceDir : std::uint8_t
 /** @return true for the six codes Table 1 allows. */
 bool statusLegal(std::uint8_t bits);
 
-/** Human-readable name of a (legal) code, for traces and tables. */
+/**
+ * Human-readable name of a code, for traces and tables.  Codes
+ * Table 1 forbids come back as a diagnostic "illegal(0bXXX)" string
+ * rather than a panic, so checkers (rmbcheck, traceview) can print
+ * counterexamples that *contain* bad codes.
+ */
 std::string statusName(std::uint8_t bits);
+
+/** The Table-1 bit a source direction occupies in a status code. */
+std::uint8_t dirBit(SourceDir d);
 
 /**
  * One output port's status register with checked mutation: connecting

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the model checker (src/check): both layers verify clean
+ * under the paper's rules, every seeded mutation is caught with a
+ * reproducible minimal counterexample, and the explorer's mechanics
+ * (canonical interning, truncation, trace rendering) behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/check.hh"
+#include "check/cycle_model.hh"
+#include "check/explorer.hh"
+#include "check/net_model.hh"
+#include "check/runner.hh"
+
+namespace rmb {
+namespace check {
+namespace {
+
+CheckConfig
+smallConfig()
+{
+    CheckConfig cfg;
+    cfg.nodes = 4;
+    cfg.buses = 3;
+    cfg.messages = 2;
+    return cfg;
+}
+
+TEST(CycleModelCheck, Figure10RulesAreClean)
+{
+    for (std::uint32_t n = 3; n <= 6; ++n) {
+        CheckConfig cfg = smallConfig();
+        cfg.nodes = n;
+        CycleModel model(cfg);
+        const ExploreResult res = explore(model, cfg.maxStates);
+        EXPECT_FALSE(res.truncated) << "N=" << n;
+        EXPECT_FALSE(res.violation.has_value())
+            << "N=" << n << ": " << res.violation->message;
+        EXPECT_GT(res.numStates, 0u);
+    }
+}
+
+TEST(CycleModelCheck, BodyTextRule3Deadlocks)
+{
+    // The paper's body text prints rule 3 as firing on LC = RC = 0;
+    // the checker proves that reading stalls the ring (see the
+    // cycle_fsm.hh header comment and docs/MODELCHECK.md).
+    CheckConfig cfg = smallConfig();
+    cfg.cycleVariant = core::CycleRuleVariant::OcRuleBodyText;
+    CycleModel model(cfg);
+    const ExploreResult res = explore(model, cfg.maxStates);
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, "deadlock");
+    ASSERT_FALSE(res.trace.empty());
+    EXPECT_EQ(res.trace.front(), model.initial());
+}
+
+TEST(CycleModelCheck, UngatedRules4And5ViolateLemma1)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.cycleVariant = core::CycleRuleVariant::NoHandshakeGates;
+    CycleModel model(cfg);
+    const ExploreResult res = explore(model, cfg.maxStates);
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, "lemma1-skew");
+    EXPECT_NE(res.violation->message.find("Lemma 1"),
+              std::string::npos);
+}
+
+TEST(NetModelCheck, Figure7RulesAreClean)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.nodes = 3;
+    cfg.buses = 3;
+    NetModel model(cfg);
+    const ExploreResult res = explore(model, cfg.maxStates);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.violation.has_value())
+        << res.violation->message;
+}
+
+TEST(NetModelCheck, IgnoringMoveNeighboursSeversABus)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.nodes = 3;
+    cfg.buses = 4;
+    cfg.messages = 1;
+    cfg.moveVariant = core::MoveRuleVariant::IgnoreNeighbors;
+    NetModel model(cfg);
+    const ExploreResult res = explore(model, cfg.maxStates);
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, "severed-bus");
+    // The counterexample replays from the initial state.
+    const std::string text =
+        renderTrace(model, res.trace, *res.violation);
+    EXPECT_NE(text.find("severed"), std::string::npos);
+    EXPECT_NE(text.find("step 0"), std::string::npos);
+}
+
+TEST(NetModelCheck, InitialStateIsAllIdleWithNoObligations)
+{
+    CheckConfig cfg = smallConfig();
+    NetModel model(cfg);
+    EXPECT_EQ(model.pendingBits(model.initial()), 0u);
+    EXPECT_NE(model.describeState(model.initial()).find("idle"),
+              std::string::npos);
+}
+
+TEST(CycleModelCheck, EveryIncIsALivenessObligation)
+{
+    CheckConfig cfg = smallConfig();
+    CycleModel model(cfg);
+    EXPECT_EQ(model.pendingBits(model.initial()),
+              (1u << cfg.nodes) - 1);
+}
+
+TEST(ExplorerCheck, TruncationIsReportedNotSilentlyPassed)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.maxStates = 10;
+    NetModel model(cfg);
+    const ExploreResult res = explore(model, cfg.maxStates);
+    EXPECT_TRUE(res.truncated);
+    EXPECT_FALSE(res.violation.has_value());
+}
+
+TEST(ExplorerCheck, RotatedStatesInternAsOneCanonicalState)
+{
+    // A single-INC-symmetric model: from the initial state, the N
+    // possible "INC i finishes its moves" successors are all the
+    // same state up to rotation, so BFS must intern exactly one.
+    CheckConfig cfg = smallConfig();
+    CycleModel model(cfg);
+    std::vector<Succ> succs;
+    model.successors(model.initial(), succs, nullptr, nullptr);
+    ASSERT_EQ(succs.size(), cfg.nodes);
+    for (const Succ &sc : succs)
+        EXPECT_EQ(sc.enc, succs.front().enc);
+}
+
+TEST(RunnerCheck, MutationNamesMapToRuleVariants)
+{
+    CheckConfig cfg;
+    EXPECT_TRUE(applyMutation("", cfg));
+    EXPECT_TRUE(applyMutation("none", cfg));
+    EXPECT_TRUE(applyMutation("oc-rule-bodytext", cfg));
+    EXPECT_EQ(cfg.cycleVariant,
+              core::CycleRuleVariant::OcRuleBodyText);
+    EXPECT_TRUE(applyMutation("no-handshake-gates", cfg));
+    EXPECT_EQ(cfg.cycleVariant,
+              core::CycleRuleVariant::NoHandshakeGates);
+    EXPECT_TRUE(applyMutation("move-ignore-neighbors", cfg));
+    EXPECT_EQ(cfg.moveVariant,
+              core::MoveRuleVariant::IgnoreNeighbors);
+    EXPECT_FALSE(applyMutation("frobnicate", cfg));
+}
+
+TEST(RunnerCheck, CleanRunPrintsOkPerLayer)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.nodes = 3;
+    cfg.buses = 2;
+    cfg.messages = 1;
+    std::ostringstream os;
+    const RunStatus st = runCheck(cfg, Layers::Both, os);
+    EXPECT_EQ(st, RunStatus::Clean);
+    EXPECT_NE(os.str().find("[cycle]"), std::string::npos);
+    EXPECT_NE(os.str().find("[datapath]"), std::string::npos);
+    EXPECT_NE(os.str().find("OK"), std::string::npos);
+}
+
+TEST(RunnerCheck, ViolationRunPrintsCounterexample)
+{
+    CheckConfig cfg = smallConfig();
+    cfg.cycleVariant = core::CycleRuleVariant::OcRuleBodyText;
+    std::ostringstream os;
+    const RunStatus st = runCheck(cfg, Layers::CycleOnly, os);
+    EXPECT_EQ(st, RunStatus::Violation);
+    EXPECT_NE(os.str().find("counterexample"), std::string::npos);
+    EXPECT_NE(os.str().find("deadlock"), std::string::npos);
+}
+
+} // namespace
+} // namespace check
+} // namespace rmb

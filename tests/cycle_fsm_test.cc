@@ -60,6 +60,46 @@ TEST(CycleFsm, OcNeedsBothNeighbourDs)
     EXPECT_EQ(f.cycleCount(), 1u);
 }
 
+/**
+ * Regression for the rule-3 reading documented in cycle_fsm.hh: the
+ * paper's body text says OC rises "if LC = RC = 0", i.e. on the very
+ * tick after OD rose, but Figure 10 gates it on LD = RD = 1.  We
+ * implement Figure 10 - under the body-text reading OC could rise
+ * before a neighbour ever saw our OD, and rmbcheck shows the ring
+ * deadlocks.  This pins the implemented behaviour: with neighbour
+ * cycles clear but neighbour dones low, OC must stay low.
+ */
+TEST(CycleFsm, Rule3FollowsFigure10NotBodyText)
+{
+    CycleFsm f;
+    f.setMovesDone();
+    f.step(false, false, false, false); // rule 2: OD=1
+    ASSERT_TRUE(f.od());
+
+    // Body text would fire here (LC = RC = 0); Figure 10 must not.
+    f.step(false, false, false, false);
+    EXPECT_FALSE(f.oc());
+    EXPECT_EQ(f.cycleCount(), 0u);
+
+    // Only LD = RD = 1 raises OC.
+    f.step(true, false, true, false);
+    EXPECT_TRUE(f.oc());
+    EXPECT_EQ(f.cycleCount(), 1u);
+
+    // The pure function agrees, and the body-text variant really is
+    // different - that difference is what rmbcheck's
+    // --mutate oc-rule-bodytext probe exercises.
+    const CycleStep fig10 = stepCycle(CyclePhase::WaitNeighborsDone,
+                                      false, false, false, false,
+                                      false);
+    EXPECT_FALSE(fig10.cycleFlipped);
+    const CycleStep body = stepCycle(
+        CyclePhase::WaitNeighborsDone, false, false, false, false,
+        false, CycleRuleVariant::OcRuleBodyText);
+    EXPECT_TRUE(body.cycleFlipped);
+    EXPECT_EQ(body.phase, CyclePhase::WaitNeighborsCycle);
+}
+
 TEST(CycleFsm, OdClearsWhenNeighbourCyclesFlip)
 {
     CycleFsm f;
