@@ -17,6 +17,7 @@
 #include "obs/sinks.hh"
 #include "obs/trace.hh"
 #include "rmb/dual_ring.hh"
+#include "rmb/engine.hh"
 #include "rmb/network.hh"
 #include "rmb/torus.hh"
 #include "sim/random.hh"
@@ -113,6 +114,16 @@ makeNetwork(const PointConfig &pt, sim::Simulator &simulator,
     if (pt.network == "rmb" || pt.network == "dualring" ||
         pt.network == "torus") {
         core::RmbConfig cfg = rmbConfig(pt, net_seed);
+        if (pt.network == "rmb") {
+            cfg.engine = pt.engine == "kernel"
+                             ? core::EngineKind::Kernel
+                             : core::EngineKind::Event;
+        } else if (pt.engine != "event") {
+            error = "network '" + pt.network +
+                    "' only supports engine=event (the cycle"
+                    " kernel backs the plain rmb ring)";
+            return nullptr;
+        }
         if (pt.network == "torus")
             cfg.numNodes = pt.width; // per-ring size; ctor resets it
         const auto problems = cfg.validate();
@@ -123,8 +134,7 @@ makeNetwork(const PointConfig &pt, sim::Simulator &simulator,
             return nullptr;
         }
         if (pt.network == "rmb")
-            return std::make_unique<core::RmbNetwork>(simulator,
-                                                      cfg);
+            return core::makeEngine(simulator, cfg);
         if (pt.network == "dualring")
             return std::make_unique<core::DualRingRmbNetwork>(
                 simulator, cfg);
@@ -238,7 +248,7 @@ appendNetworkMetrics(PointResult &r, const net::Network &network)
         "peak_circuits",
         num(static_cast<std::uint64_t>(s.activeCircuits.maximum())));
     if (const auto *rmb =
-            dynamic_cast<const core::RmbNetwork *>(&network)) {
+            dynamic_cast<const core::Engine *>(&network)) {
         r.metrics.emplace_back(
             "compaction_moves",
             num(rmb->rmbStats().compactionMoves.value()));

@@ -132,6 +132,16 @@ PointConfig::set(const std::string &field, const obs::JsonValue &value)
         return u64(timeout);
     if (field == "compaction")
         return boolean(compaction);
+    if (field == "engine") {
+        const std::string err = str(engine);
+        if (!err.empty())
+            return err;
+        if (engine != "event" && engine != "kernel") {
+            return "field 'engine' expects event or kernel, got '" +
+                   engine + "'";
+        }
+        return "";
+    }
     if (field == "blocking") {
         const std::string err = str(blocking);
         if (!err.empty())
@@ -186,7 +196,8 @@ PointConfig::knownFields()
         "network",    "nodes",         "buses",
         "width",      "height",        "workload",
         "rate",       "payload",       "duration",
-        "timeout",    "compaction",    "blocking",
+        "timeout",    "compaction",    "engine",
+        "blocking",
         "header",     "send_ports",    "receive_ports",
         "detailed_flits",
         "fault_mtbf", "fault_mttr_min", "fault_mttr_max",

@@ -56,6 +56,7 @@ struct PointConfig
     sim::Tick duration = 50'000;  //!< stochastic generation window
 
     bool compaction = true;
+    std::string engine = "event";  //!< rmb backend: event | kernel
     std::string blocking = "nack"; //!< nack | wait | wait:<t>
     std::string header = "lowest"; //!< lowest | straight
     std::uint32_t sendPorts = 1;

@@ -56,6 +56,8 @@ struct Message
     std::uint32_t nacks = 0;
     /** Number of re-injections after Nack or local blocking. */
     std::uint32_t retries = 0;
+    /** Hops of the delivering circuit (0 until Delivered). */
+    std::uint32_t pathHops = 0;
 
     /** Ticks from creation to delivery. */
     sim::Tick

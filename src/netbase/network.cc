@@ -162,6 +162,7 @@ Network::noteDelivered(Message &m, std::uint32_t path_hops)
 {
     m.delivered = simulator_.now();
     m.state = MessageState::Delivered;
+    m.pathHops = path_hops;
     ++stats_.delivered;
     stats_.totalLatency.add(static_cast<double>(m.totalLatency()));
     stats_.pathLength.add(static_cast<double>(path_hops));

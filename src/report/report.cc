@@ -48,7 +48,7 @@ statsToJson(const net::Network &network, sim::Tick now)
                    s.activeCircuits.maximum()));
 
     if (const auto *rmb =
-            dynamic_cast<const core::RmbNetwork *>(&network)) {
+            dynamic_cast<const core::Engine *>(&network)) {
         const core::RmbStats &r = rmb->rmbStats();
         json.beginObject("rmb");
         json.field("buses",
@@ -64,9 +64,9 @@ statsToJson(const net::Network &network, sim::Tick now)
         sampleStat(json, "topReleaseLatency",
                    r.topReleaseLatency);
         json.field("avgSegmentUtilization",
-                   rmb->segments().averageUtilization(now));
+                   rmb->averageSegmentUtilization(now));
         json.field("faultySegments",
-                   std::uint64_t{rmb->segments().faultyCount()});
+                   std::uint64_t{rmb->faultySegments()});
         json.endObject();
     }
 
@@ -79,25 +79,24 @@ statsToJson(const net::Network &network, sim::Tick now)
 }
 
 void
-utilizationHeatmap(std::ostream &os,
-                   const core::RmbNetwork &network, sim::Tick now)
+utilizationHeatmap(std::ostream &os, const core::Engine &engine,
+                   sim::Tick now)
 {
     static const char kScale[] = " .:-=+*#%@";
-    const auto &segments = network.segments();
-    const auto n = segments.numGaps();
-    const auto k = segments.numLevels();
+    const auto n = static_cast<core::GapId>(engine.numNodes());
+    const auto k = static_cast<int>(engine.config().numBuses);
 
     os << "segment utilization heatmap (columns = gaps 0.."
        << n - 1 << ", X = faulted)\n";
-    for (int l = static_cast<int>(k) - 1; l >= 0; --l) {
+    for (int l = k - 1; l >= 0; --l) {
         os << "  L" << l
-           << (l == static_cast<int>(k) - 1 ? " (top)|" : "      |");
+           << (l == k - 1 ? " (top)|" : "      |");
         for (core::GapId g = 0; g < n; ++g) {
-            if (segments.isFaulty(g, l)) {
+            if (engine.segmentFaulty(g, l)) {
                 os << 'X';
                 continue;
             }
-            const double u = segments.utilization(g, l, now);
+            const double u = engine.segmentUtilization(g, l, now);
             const auto bucket = static_cast<std::size_t>(
                 u * 9.999);
             os << kScale[bucket > 9 ? 9 : bucket];

@@ -18,7 +18,7 @@
 #include <string>
 
 #include "netbase/network.hh"
-#include "rmb/network.hh"
+#include "rmb/engine.hh"
 
 namespace rmb {
 namespace report {
@@ -26,14 +26,17 @@ namespace report {
 /**
  * Serialize @p network's statistics as a single JSON object.
  * Always includes the common counters; adds a "rmb" sub-object for
- * RmbNetwork instances.  NaNs (empty stats) are emitted as null.
+ * RMB engines (any core::Engine backend).  NaNs (empty stats) are
+ * emitted as null.
  */
 std::string statsToJson(const net::Network &network, sim::Tick now);
 
-/** Render the N x k utilization heatmap of an RMB to @p os. */
+/**
+ * Render the N x k utilization heatmap of an RMB to @p os, via the
+ * backend-generic segment census (works for any engine).
+ */
 void utilizationHeatmap(std::ostream &os,
-                        const core::RmbNetwork &network,
-                        sim::Tick now);
+                        const core::Engine &engine, sim::Tick now);
 
 } // namespace report
 } // namespace rmb

@@ -61,27 +61,45 @@ sourceDirOf(Level lin, Level lout)
  * legal from *both* the old and the new input level may be taken,
  * which is exactly {level-1, level}.
  */
+inline int
+reachableOutputLevelsInto(const Hop &head, Level num_buses,
+                          HeaderPolicy policy, Level (&out)[3])
+{
+    const bool lowest_first = policy == HeaderPolicy::PreferLowest;
+    Level cand[3];
+    int m = 0;
+    if (head.inMove()) {
+        if (lowest_first) {
+            cand[m++] = head.level - 1;
+            cand[m++] = head.level;
+        } else {
+            cand[m++] = head.level;
+            cand[m++] = head.level - 1;
+        }
+    } else if (lowest_first) {
+        cand[m++] = head.level - 1;
+        cand[m++] = head.level;
+        cand[m++] = head.level + 1;
+    } else {
+        cand[m++] = head.level;
+        cand[m++] = head.level - 1;
+        cand[m++] = head.level + 1;
+    }
+    int count = 0;
+    for (int i = 0; i < m; ++i)
+        if (cand[i] >= 0 && cand[i] < num_buses)
+            out[count++] = cand[i];
+    return count;
+}
+
 inline std::vector<Level>
 reachableOutputLevels(const Hop &head, Level num_buses,
                       HeaderPolicy policy)
 {
-    const bool lowest_first = policy == HeaderPolicy::PreferLowest;
-    std::vector<Level> levels;
-    if (head.inMove()) {
-        levels = lowest_first
-                     ? std::vector<Level>{head.level - 1, head.level}
-                     : std::vector<Level>{head.level,
-                                          head.level - 1};
-    } else if (lowest_first) {
-        levels = {head.level - 1, head.level, head.level + 1};
-    } else {
-        levels = {head.level, head.level - 1, head.level + 1};
-    }
-    std::vector<Level> ok;
-    for (Level l : levels)
-        if (l >= 0 && l < num_buses)
-            ok.push_back(l);
-    return ok;
+    Level out[3];
+    const int count =
+        reachableOutputLevelsInto(head, num_buses, policy, out);
+    return std::vector<Level>(out, out + count);
 }
 
 /**
@@ -116,10 +134,15 @@ enum class MoveRuleVariant : std::uint8_t
  * drawn behind" the header (section 2.2) - a *blocked* head hop
  * still moves so a waiting header can sink toward the lowest free
  * levels (Theorem 1).
+ *
+ * Templated on the bus type so every backend shares the one rule:
+ * @p BusT needs `.state`, and `.hops` indexable to Hop-shaped
+ * elements (RmbNetwork's deque-backed VirtualBus, the cycle kernel's
+ * vector-backed pool slot, and the model checker's bus all qualify).
  */
-template <typename IsFree>
+template <typename BusT, typename IsFree>
 bool
-hopMovableRule(const VirtualBus &bus, std::size_t hop_index,
+hopMovableRule(const BusT &bus, std::size_t hop_index,
                IsFree &&is_free,
                MoveRuleVariant variant = MoveRuleVariant::Figure7)
 {

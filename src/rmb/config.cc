@@ -112,7 +112,47 @@ RmbConfig::validate() const
             " ticks); every healthy bus would be severed before it"
             " could make its first hop"));
     }
+
+    // Engine-compatibility: the cycle kernel refuses, with an
+    // actionable message, every option it does not model - silent
+    // fallback to the event engine would invalidate perf numbers and
+    // differential baselines alike.
+    if (engine == EngineKind::Kernel) {
+        if (detailedFlits) {
+            problems.push_back(
+                "engine=kernel does not model per-flit Dack flow"
+                " control (detailedFlits); use the closed-form"
+                " pipeline (detailedFlits=false) or engine=event");
+        }
+        if (blocking == BlockingPolicy::Wait) {
+            problems.push_back(
+                "engine=kernel only implements"
+                " BlockingPolicy::NackRetry; Wait-mode header"
+                " parking (and its deadlock modes) needs"
+                " engine=event");
+        }
+        if (watchdogTimeout > 0) {
+            problems.push_back(msg(
+                "engine=kernel has no source watchdog"
+                " (watchdogTimeout=", watchdogTimeout,
+                "): the kernel's timing wheel cannot lose protocol"
+                " events, so there is nothing for a watchdog to"
+                " recover; set watchdogTimeout=0 or engine=event"));
+        }
+    }
     return problems;
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+    case EngineKind::Event:
+        return "event";
+    case EngineKind::Kernel:
+        return "kernel";
+    }
+    return "?";
 }
 
 } // namespace core

@@ -154,6 +154,14 @@ struct RmbConfig
      */
     bool enableCompaction = true;
 
+    /**
+     * Which backend executes this configuration (see EngineKind and
+     * docs/ENGINE.md).  The kernel backend refuses configurations it
+     * cannot model - validate() reports exactly which option to
+     * change - rather than silently falling back to the event path.
+     */
+    EngineKind engine = EngineKind::Event;
+
     /** Invariant-checking level. */
     VerifyLevel verify = VerifyLevel::Cheap;
 

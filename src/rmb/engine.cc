@@ -1,0 +1,100 @@
+#include "rmb/engine.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "rmb/kernel/kernel_engine.hh"
+#include "rmb/network.hh"
+
+namespace rmb {
+namespace core {
+
+RmbStats::RmbStats(obs::MetricsRegistry &registry)
+    : compactionMoves(registry.counter("rmb.compaction.moves")),
+      blockedHeaders(registry.counter("rmb.blocked.headers")),
+      blockedAborts(registry.counter("rmb.blocked.aborts")),
+      timeoutAborts(registry.counter("rmb.timeout.aborts")),
+      cycleFlips(registry.counter("rmb.cycle.flips")),
+      dacks(registry.counter("rmb.dacks")),
+      maxCycleSkew(registry.counter("rmb.cycle.max_skew")),
+      multicasts(registry.counter("rmb.multicasts")),
+      faultsInjected(registry.counter("rmb.faults.injected")),
+      faultsRepaired(registry.counter("rmb.faults.repaired")),
+      busesSevered(registry.counter("rmb.faults.severed")),
+      messagesRecovered(registry.counter("rmb.faults.recovered")),
+      messagesLost(registry.counter("rmb.faults.lost")),
+      watchdogFires(registry.counter("rmb.watchdog.fires")),
+      topReleaseLatency(
+          registry.sampler("rmb.top_release_latency")),
+      recoveryLatency(
+          registry.sampler("rmb.faults.recovery_latency")),
+      recoveryLatencyHist(
+          registry.histogram("rmb.hist.recovery_latency")),
+      multicastMemberLatency(
+          registry.sampler("rmb.multicast.member_latency")),
+      blockedTime(registry.sampler("rmb.blocked.time")),
+      liveBuses(registry.level("rmb.live_buses"))
+{}
+
+const RmbConfig &
+validatedEngineConfig(const RmbConfig &config)
+{
+    const std::vector<std::string> problems = config.validate();
+    if (!problems.empty()) {
+        std::string joined;
+        for (const std::string &p : problems) {
+            if (!joined.empty())
+                joined += "; ";
+            joined += p;
+        }
+        fatal("invalid RmbConfig: ", joined);
+    }
+    return config;
+}
+
+std::unique_ptr<Engine>
+makeEngine(sim::Simulator &simulator, const RmbConfig &config)
+{
+    switch (config.engine) {
+    case EngineKind::Event:
+        return std::make_unique<RmbNetwork>(simulator, config);
+    case EngineKind::Kernel:
+        return std::make_unique<CycleKernelEngine>(simulator,
+                                                   config);
+    }
+    fatal("unknown EngineKind ",
+          static_cast<unsigned>(config.engine));
+}
+
+std::string
+outcomeDigest(const net::Network &network)
+{
+    std::ostringstream out;
+    for (net::MessageId id = 1; id <= network.numMessages(); ++id) {
+        const net::Message &m = network.message(id);
+        out << m.id << ':' << m.src << '>' << m.dst << ':'
+            << m.payloadFlits << ':';
+        switch (m.state) {
+        case net::MessageState::Queued:
+            out << 'Q';
+            break;
+        case net::MessageState::Setup:
+            out << 'S';
+            break;
+        case net::MessageState::Streaming:
+            out << 's';
+            break;
+        case net::MessageState::Delivered:
+            out << 'D';
+            break;
+        case net::MessageState::Failed:
+            out << 'F';
+            break;
+        }
+        out << ':' << m.pathHops << '\n';
+    }
+    return out.str();
+}
+
+} // namespace core
+} // namespace rmb

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The pluggable RMB engine contract.
+ *
+ * Everything outside `src/rmb` that drives an RMB simulation -
+ * benches, sweeps, fault injection, trace sinks, reports - depends
+ * only on this interface.  Two backends implement it:
+ *
+ *  - `RmbNetwork` (network.hh): the reference discrete-event engine;
+ *    every header hop, INC cycle tick and teardown step is a
+ *    heap-scheduled `sim::EventQueue` event with per-INC clock skew.
+ *  - `CycleKernelEngine` (kernel/kernel_engine.hh): a time-stepped
+ *    structure-of-arrays kernel; segment occupancy and fault state
+ *    live in uint64_t bitplanes, compaction candidates are filtered
+ *    word-parallel, and the protocol agenda is a bucket timing wheel.
+ *
+ * Select a backend with `RmbConfig::engine` and construct through
+ * `makeEngine()`; see docs/ENGINE.md for the full contract, the
+ * bitset layout and how to add a third backend.
+ */
+
+#ifndef RMB_RMB_ENGINE_HH
+#define RMB_RMB_ENGINE_HH
+
+#include <memory>
+#include <string>
+
+#include "netbase/network.hh"
+#include "obs/metrics.hh"
+#include "rmb/config.hh"
+#include "rmb/types.hh"
+#include "sim/stats.hh"
+
+namespace rmb {
+namespace core {
+
+/**
+ * Typed view of the RMB-specific counters beyond the common
+ * NetworkStats.  Like NetworkStats, the metrics live in the owning
+ * engine's obs::MetricsRegistry (under the "rmb." prefix); this
+ * struct only names them.  Both engines maintain the same registry
+ * names, so reports and gates read either backend unchanged.
+ */
+struct RmbStats
+{
+    explicit RmbStats(obs::MetricsRegistry &registry);
+    RmbStats(const RmbStats &) = delete;
+    RmbStats &operator=(const RmbStats &) = delete;
+
+    /** Completed downward moves (break steps). */
+    obs::Counter &compactionMoves;
+    /** Headers that entered the Blocked state. */
+    obs::Counter &blockedHeaders;
+    /** Partial buses torn down under BlockingPolicy::NackRetry. */
+    obs::Counter &blockedAborts;
+    /** Partial buses torn down by the Wait-mode header timeout. */
+    obs::Counter &timeoutAborts;
+    /** Total odd/even cycle flips across all INCs. */
+    obs::Counter &cycleFlips;
+    /** Data-flit acknowledgements delivered (detailed mode). */
+    obs::Counter &dacks;
+    /** Largest |cycleCount(i) - cycleCount(i+1)| ever observed. */
+    obs::Counter &maxCycleSkew;
+
+    /** Multicast/broadcast groups completed. */
+    obs::Counter &multicasts;
+
+    /** Segment faults injected (failSegment calls). */
+    obs::Counter &faultsInjected;
+    /** Segment faults repaired (repairSegment calls). */
+    obs::Counter &faultsRepaired;
+    /** Live virtual buses severed by a fault or the watchdog. */
+    obs::Counter &busesSevered;
+    /** Messages delivered despite >= 1 sever along the way. */
+    obs::Counter &messagesRecovered;
+    /** Messages that were severed and then permanently failed. */
+    obs::Counter &messagesLost;
+    /** Source watchdog expirations (each severs one bus). */
+    obs::Counter &watchdogFires;
+
+    /** Injection -> the source's top segment is free again. */
+    sim::SampleStat &topReleaseLatency;
+
+    /** First sever -> eventual delivery, per recovered message. */
+    sim::SampleStat &recoveryLatency;
+    /** Log-bucketed recovery latencies (p50/90/99 in reports). */
+    obs::LogHistogram &recoveryLatencyHist;
+
+    /** Creation -> per-member delivery over all multicast members. */
+    sim::SampleStat &multicastMemberLatency;
+    /** Time headers spent in the Blocked state. */
+    sim::SampleStat &blockedTime;
+    /** Live virtual buses (injection .. teardown complete). */
+    sim::LevelTracker &liveBuses;
+};
+
+/**
+ * Abstract RMB simulation backend.
+ *
+ * The contract on top of net::Network:
+ *  - construction takes a validated RmbConfig; engines refuse (via
+ *    fatal) to build from a config whose validate() reports problems;
+ *  - fault injection (failSegment/repairSegment) follows the
+ *    transient-fault semantics of docs/FAULTS.md on both backends;
+ *  - the segment census accessors expose the N x k grid generically,
+ *    so heatmaps and reports need no backend-specific casts;
+ *  - auditInvariants() panics on any structural violation and may be
+ *    called at any quiescent or non-quiescent instant.
+ *
+ * Scheduling internals - retry backoff (`scheduleRetry`), watchdog
+ * arming, INC clocks or timing wheels - are deliberately *absent*:
+ * they are implementation details that moved behind this interface.
+ */
+class Engine : public net::Network
+{
+  public:
+    Engine(sim::Simulator &simulator, std::string name,
+           net::NodeId num_nodes)
+        : net::Network(simulator, std::move(name), num_nodes)
+    {
+    }
+
+    /** The validated configuration this engine was built from. */
+    virtual const RmbConfig &config() const = 0;
+
+    /** RMB-specific counters (same registry names on all backends). */
+    virtual const RmbStats &rmbStats() const = 0;
+
+    /**
+     * Fault injection: disable the physical segment at
+     * (@p gap, @p level).  With RmbConfig::transientFaults the
+     * segment may be *occupied*: the owning virtual bus is severed
+     * and torn down hop by hop, and its message retried from the
+     * source (docs/FAULTS.md).  Without it, faulting an occupied
+     * segment is a hard error (the historical static-fault model).
+     */
+    virtual void failSegment(GapId gap, Level level) = 0;
+
+    /**
+     * Repair a faulted segment: the inverse of failSegment.  The
+     * segment becomes claimable again once any severed occupant has
+     * finished releasing it.
+     */
+    virtual void repairSegment(GapId gap, Level level) = 0;
+
+    /** Run every structural invariant check now (any VerifyLevel). */
+    virtual void auditInvariants() const = 0;
+
+    // --- segment census (generic N x k grid view) ---
+
+    /** Is the segment at (@p gap, @p level) claimed by a bus? */
+    virtual bool segmentOccupied(GapId gap, Level level) const = 0;
+
+    /** Is the segment at (@p gap, @p level) faulted? */
+    virtual bool segmentFaulty(GapId gap, Level level) const = 0;
+
+    /** Number of currently faulted segments. */
+    virtual std::uint32_t faultySegments() const = 0;
+
+    /** Number of currently occupied segments. */
+    virtual std::uint64_t occupiedSegments() const = 0;
+
+    /** Busy fraction of one segment over [0, @p now]. */
+    virtual double segmentUtilization(GapId gap, Level level,
+                                      sim::Tick now) const = 0;
+
+    /** Mean busy fraction over all N x k segments. */
+    virtual double averageSegmentUtilization(sim::Tick now) const = 0;
+};
+
+/**
+ * Construct the backend selected by @p config.engine.  Fatals (like
+ * the engines themselves) if the configuration is invalid - including
+ * kernel-incompatible option combinations, which validate() reports
+ * with the exact option to change.
+ */
+std::unique_ptr<Engine> makeEngine(sim::Simulator &simulator,
+                                   const RmbConfig &config);
+
+/**
+ * Fatal with every validate() problem unless @p config is valid;
+ * returns @p config so engine constructors can chain it before any
+ * member construction.
+ */
+const RmbConfig &validatedEngineConfig(const RmbConfig &config);
+
+/**
+ * Canonical digest of a network's per-message *outcomes*: one line
+ * per message id with source, destination, payload, final state and
+ * the delivering circuit's hop count.  Two engines that implement the
+ * same protocol semantics must produce byte-identical digests for the
+ * same workload (see tests/engine_diff_test.cc and docs/ENGINE.md for
+ * why outcomes, not tick-level traces, are the equivalence contract).
+ */
+std::string outcomeDigest(const net::Network &network);
+
+} // namespace core
+} // namespace rmb
+
+#endif // RMB_RMB_ENGINE_HH

@@ -1,13 +1,13 @@
 #include "rmb/fault.hh"
 
 #include "common/logging.hh"
-#include "rmb/network.hh"
+#include "rmb/engine.hh"
 #include "sim/simulator.hh"
 
 namespace rmb {
 namespace core {
 
-FaultSchedule::FaultSchedule(RmbNetwork &network, sim::Random rng)
+FaultSchedule::FaultSchedule(Engine &network, sim::Random rng)
     : network_(network), rng_(rng)
 {
     rmb_assert(network_.config().faultMtbf > 0,
@@ -37,16 +37,15 @@ FaultSchedule::injectOne()
     const RmbConfig &cfg = network_.config();
     const std::uint32_t n = cfg.numNodes;
     const std::uint32_t k = cfg.numBuses;
-    const SegmentTable &table = network_.segments();
 
     // Keep at least half the grid alive: letting the process
     // swallow every segment partitions the (one-way) ring and the
     // availability sweep would measure nothing but the partition.
-    if (table.faultyCount() < n * k / 2) {
+    if (network_.faultySegments() < n * k / 2) {
         for (int tries = 0; tries < 64; ++tries) {
             const auto g = static_cast<GapId>(rng_.uniformInt(n));
             const auto l = static_cast<Level>(rng_.uniformInt(k));
-            if (table.isFaulty(g, l))
+            if (network_.segmentFaulty(g, l))
                 continue;
             network_.failSegment(g, l);
             ++injected_;

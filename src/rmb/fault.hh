@@ -23,20 +23,25 @@
 namespace rmb {
 namespace core {
 
-class RmbNetwork;
+class Engine;
 
 /** Stream id of the fault substream under sim::Random(seed). */
 constexpr std::uint64_t kFaultStream = 0xfa;
 
 /**
- * Drives failSegment/repairSegment through the owning network's
- * simulator.  Constructed (and started) by RmbNetwork when
- * RmbConfig::faultMtbf > 0; uses only the network's public API.
+ * Drives failSegment/repairSegment through the owning engine's
+ * simulator.  Constructed (and started) by either backend when
+ * RmbConfig::faultMtbf > 0; uses only the core::Engine API, so the
+ * event and kernel engines share one fault process - and because
+ * every draw comes from the dedicated substream and depends only on
+ * prior fault state (never on protocol state), the two backends see
+ * the *identical* (gap, level, time) fault sequence for a given
+ * seed.  The differential test leans on that.
  */
 class FaultSchedule
 {
   public:
-    FaultSchedule(RmbNetwork &network, sim::Random rng);
+    FaultSchedule(Engine &network, sim::Random rng);
 
     /** Schedule the first fault; call once after construction. */
     void start();
@@ -51,7 +56,7 @@ class FaultSchedule
     void scheduleNextFault();
     void injectOne();
 
-    RmbNetwork &network_;
+    Engine &network_;
     sim::Random rng_;
     std::uint64_t injected_ = 0;
     std::uint64_t repaired_ = 0;

@@ -15,51 +15,14 @@ namespace {
 const RmbConfig &
 validated(const RmbConfig &config)
 {
-    const std::vector<std::string> problems = config.validate();
-    if (!problems.empty()) {
-        std::string joined;
-        for (const std::string &p : problems) {
-            if (!joined.empty())
-                joined += "; ";
-            joined += p;
-        }
-        fatal("invalid RmbConfig: ", joined);
-    }
-    return config;
+    return validatedEngineConfig(config);
 }
 
 } // namespace
 
-RmbStats::RmbStats(obs::MetricsRegistry &registry)
-    : compactionMoves(registry.counter("rmb.compaction.moves")),
-      blockedHeaders(registry.counter("rmb.blocked.headers")),
-      blockedAborts(registry.counter("rmb.blocked.aborts")),
-      timeoutAborts(registry.counter("rmb.timeout.aborts")),
-      cycleFlips(registry.counter("rmb.cycle.flips")),
-      dacks(registry.counter("rmb.dacks")),
-      maxCycleSkew(registry.counter("rmb.cycle.max_skew")),
-      multicasts(registry.counter("rmb.multicasts")),
-      faultsInjected(registry.counter("rmb.faults.injected")),
-      faultsRepaired(registry.counter("rmb.faults.repaired")),
-      busesSevered(registry.counter("rmb.faults.severed")),
-      messagesRecovered(registry.counter("rmb.faults.recovered")),
-      messagesLost(registry.counter("rmb.faults.lost")),
-      watchdogFires(registry.counter("rmb.watchdog.fires")),
-      topReleaseLatency(
-          registry.sampler("rmb.top_release_latency")),
-      recoveryLatency(
-          registry.sampler("rmb.faults.recovery_latency")),
-      recoveryLatencyHist(
-          registry.histogram("rmb.hist.recovery_latency")),
-      multicastMemberLatency(
-          registry.sampler("rmb.multicast.member_latency")),
-      blockedTime(registry.sampler("rmb.blocked.time")),
-      liveBuses(registry.level("rmb.live_buses"))
-{}
-
 RmbNetwork::RmbNetwork(sim::Simulator &simulator,
                        const RmbConfig &config)
-    : net::Network(simulator, "RMB(ring)", validated(config).numNodes),
+    : Engine(simulator, "RMB(ring)", validated(config).numNodes),
       config_(config), rng_(config.seed),
       segments_(config.numNodes, config.numBuses),
       pes_(config.numNodes), waiters_(config.numNodes),

@@ -23,6 +23,7 @@
 #include "netbase/network.hh"
 #include "obs/metrics.hh"
 #include "rmb/config.hh"
+#include "rmb/engine.hh"
 #include "rmb/inc.hh"
 #include "rmb/pe.hh"
 #include "rmb/segment_table.hh"
@@ -36,65 +37,6 @@ namespace rmb {
 namespace core {
 
 class FaultSchedule;
-
-/**
- * Typed view of the RMB-specific counters beyond the common
- * NetworkStats.  Like NetworkStats, the metrics live in the owning
- * network's obs::MetricsRegistry (under the "rmb." prefix); this
- * struct only names them.
- */
-struct RmbStats
-{
-    explicit RmbStats(obs::MetricsRegistry &registry);
-    RmbStats(const RmbStats &) = delete;
-    RmbStats &operator=(const RmbStats &) = delete;
-
-    /** Completed downward moves (break steps). */
-    obs::Counter &compactionMoves;
-    /** Headers that entered the Blocked state. */
-    obs::Counter &blockedHeaders;
-    /** Partial buses torn down under BlockingPolicy::NackRetry. */
-    obs::Counter &blockedAborts;
-    /** Partial buses torn down by the Wait-mode header timeout. */
-    obs::Counter &timeoutAborts;
-    /** Total odd/even cycle flips across all INCs. */
-    obs::Counter &cycleFlips;
-    /** Data-flit acknowledgements delivered (detailed mode). */
-    obs::Counter &dacks;
-    /** Largest |cycleCount(i) - cycleCount(i+1)| ever observed. */
-    obs::Counter &maxCycleSkew;
-
-    /** Multicast/broadcast groups completed. */
-    obs::Counter &multicasts;
-
-    /** Segment faults injected (failSegment calls). */
-    obs::Counter &faultsInjected;
-    /** Segment faults repaired (repairSegment calls). */
-    obs::Counter &faultsRepaired;
-    /** Live virtual buses severed by a fault or the watchdog. */
-    obs::Counter &busesSevered;
-    /** Messages delivered despite >= 1 sever along the way. */
-    obs::Counter &messagesRecovered;
-    /** Messages that were severed and then permanently failed. */
-    obs::Counter &messagesLost;
-    /** Source watchdog expirations (each severs one bus). */
-    obs::Counter &watchdogFires;
-
-    /** Injection -> the source's top segment is free again. */
-    sim::SampleStat &topReleaseLatency;
-
-    /** First sever -> eventual delivery, per recovered message. */
-    sim::SampleStat &recoveryLatency;
-    /** Log-bucketed recovery latencies (p50/90/99 in reports). */
-    obs::LogHistogram &recoveryLatencyHist;
-
-    /** Creation -> per-member delivery over all multicast members. */
-    sim::SampleStat &multicastMemberLatency;
-    /** Time headers spent in the Blocked state. */
-    sim::SampleStat &blockedTime;
-    /** Live virtual buses (injection .. teardown complete). */
-    sim::LevelTracker &liveBuses;
-};
 
 /** Id of a multicast/broadcast group (1-based, per network). */
 using MulticastId = std::uint64_t;
@@ -120,10 +62,12 @@ struct MulticastRecord
 };
 
 /**
- * The RMB network.  See RmbConfig for tunables; see net::Network for
- * the send/stats interface shared with the baselines.
+ * The RMB network: the reference discrete-event engine.  See
+ * RmbConfig for tunables, core::Engine for the backend contract
+ * shared with the cycle kernel, and net::Network for the send/stats
+ * interface shared with the baselines.
  */
-class RmbNetwork : public net::Network
+class RmbNetwork : public Engine
 {
   public:
     RmbNetwork(sim::Simulator &simulator, const RmbConfig &config);
@@ -152,9 +96,50 @@ class RmbNetwork : public net::Network
      */
     const MulticastRecord &multicastRecord(MulticastId id) const;
 
-    const RmbConfig &config() const { return config_; }
-    const RmbStats &rmbStats() const { return rmbStats_; }
+    const RmbConfig &
+    config() const override
+    {
+        return config_;
+    }
+    const RmbStats &
+    rmbStats() const override
+    {
+        return rmbStats_;
+    }
     const SegmentTable &segments() const { return segments_; }
+
+    // --- Engine segment census (delegates to the SegmentTable) ---
+    bool
+    segmentOccupied(GapId gap, Level level) const override
+    {
+        return !segments_.isFree(gap, level);
+    }
+    bool
+    segmentFaulty(GapId gap, Level level) const override
+    {
+        return segments_.isFaulty(gap, level);
+    }
+    std::uint32_t
+    faultySegments() const override
+    {
+        return segments_.faultyCount();
+    }
+    std::uint64_t
+    occupiedSegments() const override
+    {
+        return segments_.occupiedCount();
+    }
+    double
+    segmentUtilization(GapId gap, Level level,
+                       sim::Tick now) const override
+    {
+        return segments_.utilization(gap, level, now);
+    }
+    double
+    averageSegmentUtilization(sim::Tick now) const override
+    {
+        return segments_.averageUtilization(now);
+    }
 
     /** INC @p i; panics with the offending index if out of range. */
     const Inc &
@@ -198,7 +183,7 @@ class RmbNetwork : public net::Network
      * that node, and faulting all k levels of a gap partitions the
      * (one-way) ring.
      */
-    void failSegment(GapId gap, Level level);
+    void failSegment(GapId gap, Level level) override;
 
     /**
      * Repair a faulted segment: the inverse of failSegment.  The
@@ -206,10 +191,10 @@ class RmbNetwork : public net::Network
      * finished releasing it; blocked headers and pending injections
      * are woken exactly as on a normal release.
      */
-    void repairSegment(GapId gap, Level level);
+    void repairSegment(GapId gap, Level level) override;
 
     /** Run every structural invariant check now (any VerifyLevel). */
-    void auditInvariants() const;
+    void auditInvariants() const override;
 
   private:
     // ------------------------------------------------------------

@@ -28,6 +28,8 @@ Simulator::run(std::uint64_t max_events)
 std::uint64_t
 Simulator::runUntil(Tick until)
 {
+    const Tick saved_horizon = horizon_;
+    horizon_ = until;
     std::uint64_t executed = 0;
     while (!events_.empty() && events_.nextTick() <= until) {
         now_ = events_.nextTick();
@@ -36,6 +38,7 @@ Simulator::runUntil(Tick until)
     }
     if (now_ < until)
         now_ = until;
+    horizon_ = saved_horizon;
     return executed;
 }
 

@@ -67,6 +67,30 @@ class Simulator
     /** @return true once no live events remain. */
     bool idle() const { return events_.empty(); }
 
+    /**
+     * Advance the clock to @p to without executing events, provided
+     * nothing is pending at or before @p to and the active run
+     * horizon (runUntil/runFor) does not end first.
+     *
+     * This is the fast path for self-clocked components: inside an
+     * event callback they may consume their own future work directly
+     * instead of bouncing every tick through the event heap.  The
+     * horizon guard keeps runUntil() exact — a component can never
+     * advance time past the caller's stopping point.
+     *
+     * @return true when the clock moved to @p to.
+     */
+    bool
+    advanceIfIdle(Tick to)
+    {
+        if (to <= now_ || to > horizon_)
+            return false;
+        if (!events_.empty() && events_.nextTick() <= to)
+            return false;
+        now_ = to;
+        return true;
+    }
+
     /** Total events executed over the simulator's lifetime. */
     std::uint64_t numExecuted() const { return events_.numExecuted(); }
 
@@ -76,6 +100,8 @@ class Simulator
   private:
     EventQueue events_;
     Tick now_ = 0;
+    /** Stopping point of the innermost runUntil(); limits advanceIfIdle. */
+    Tick horizon_ = kMaxTick;
 };
 
 } // namespace sim

@@ -40,6 +40,7 @@
 #include "obs/sinks.hh"
 #include "obs/timeline.hh"
 #include "rmb/dual_ring.hh"
+#include "rmb/engine.hh"
 #include "rmb/grid.hh"
 #include "rmb/network.hh"
 #include "report/report.hh"
@@ -57,6 +58,8 @@ using namespace rmb;
 struct Options
 {
     std::string network = "rmb";
+    /** --engine: RMB backend (event | kernel). */
+    std::string engine = "event";
     std::uint32_t nodes = 16;
     std::uint32_t buses = 4;
     std::uint32_t width = 4;
@@ -104,6 +107,7 @@ usage(int code = 2)
         << "usage: rmbsim [options]\n"
            "  --network   rmb|dualring|torus|grid|ring|mesh|"
            "hypercube|ehc|fattree|multibus|wormhole\n"
+           "  --engine    event|kernel    (rmb backend)\n"
            "  --nodes N --buses K        (ring-like networks)\n"
            "  --width W --height H       (torus / mesh)\n"
            "  --dims AxBxC                (grid)\n"
@@ -142,6 +146,8 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--network") {
             o.network = need(i);
+        } else if (arg == "--engine") {
+            o.engine = need(i);
         } else if (arg == "--nodes") {
             o.nodes = static_cast<std::uint32_t>(
                 std::stoul(need(i)));
@@ -228,6 +234,10 @@ core::RmbConfig
 rmbConfig(const Options &o)
 {
     core::RmbConfig cfg;
+    if (o.engine == "kernel")
+        cfg.engine = core::EngineKind::Kernel;
+    else if (o.engine != "event")
+        fatal("unknown engine '", o.engine, "' (event | kernel)");
     cfg.numNodes = o.nodes;
     cfg.numBuses = o.buses;
     cfg.seed = o.seed;
@@ -264,8 +274,9 @@ makeNetwork(const Options &o, sim::Simulator &simulator)
     baseline::CircuitConfig circuit;
     circuit.seed = o.seed;
     if (o.network == "rmb") {
-        return std::make_unique<core::RmbNetwork>(simulator,
-                                                  rmbConfig(o));
+        // Backend selection (--engine) happens inside makeEngine;
+        // everything downstream sees only the core::Engine contract.
+        return core::makeEngine(simulator, rmbConfig(o));
     }
     if (o.network == "dualring") {
         return std::make_unique<core::DualRingRmbNetwork>(
@@ -420,7 +431,7 @@ printStats(const Options &o, const net::Network &network,
     }
     if (o.heatmap) {
         if (const auto *rmb =
-                dynamic_cast<const core::RmbNetwork *>(&network)) {
+                dynamic_cast<const core::Engine *>(&network)) {
             report::utilizationHeatmap(std::cout, *rmb, now);
         }
         if (o.json)
@@ -448,16 +459,15 @@ printStats(const Options &o, const net::Network &network,
               TextTable::num(static_cast<std::uint64_t>(
                   s.activeCircuits.maximum()))});
     if (const auto *rmb =
-            dynamic_cast<const core::RmbNetwork *>(&network)) {
+            dynamic_cast<const core::Engine *>(&network)) {
         t.addRow({"compaction moves",
                   TextTable::num(rmb->rmbStats().compactionMoves)});
         t.addRow({"max cycle skew",
                   TextTable::num(rmb->rmbStats().maxCycleSkew)});
         t.addRow({"avg segment util %",
-                  TextTable::num(100.0 *
-                                     rmb->segments()
-                                         .averageUtilization(now),
-                                 2)});
+                  TextTable::num(
+                      100.0 * rmb->averageSegmentUtilization(now),
+                      2)});
     }
     if (o.csv)
         t.printCsv(std::cout);
@@ -523,7 +533,7 @@ main(int argc, char **argv)
                 net->stats().activeCircuits.current());
         });
         if (const auto *rmb =
-                dynamic_cast<const core::RmbNetwork *>(net)) {
+                dynamic_cast<const core::Engine *>(net)) {
             const double segs =
                 static_cast<double>(rmb->config().numNodes) *
                 static_cast<double>(rmb->config().numBuses);
@@ -533,7 +543,7 @@ main(int argc, char **argv)
             });
             timeline->addSeries("segment_occupancy", [rmb, segs] {
                 return static_cast<double>(
-                           rmb->segments().occupiedCount()) /
+                           rmb->occupiedSegments()) /
                        segs;
             });
         }
